@@ -1,0 +1,44 @@
+//! E1 — recognizer runtimes (Theorem 1 both sides).
+//!
+//! Measures the chordality recognizers on growing instances of the
+//! classes they accept, comparing the graph-native route against the
+//! hypergraph-acyclicity route for the same predicate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc::chordality::{
+    classify_bipartite, is_chordal_bipartite, is_chordal_bipartite_via_beta, is_six_two_chordal,
+};
+use mcc_bench::six_two_workload;
+use std::hint::black_box;
+
+fn bench_recognizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_recognizers");
+    group.sample_size(15);
+    for blocks in [4usize, 8, 16] {
+        let w = six_two_workload(blocks, 3, 7);
+        group.bench_with_input(
+            BenchmarkId::new("six_two", w.graph().node_count()),
+            &w,
+            |b, w| b.iter(|| black_box(is_six_two_chordal(&w.bipartite))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("six_one_bisimplicial", w.graph().node_count()),
+            &w,
+            |b, w| b.iter(|| black_box(is_chordal_bipartite(w.graph()))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("six_one_via_beta", w.graph().node_count()),
+            &w,
+            |b, w| b.iter(|| black_box(is_chordal_bipartite_via_beta(&w.bipartite))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("classify_full", w.graph().node_count()),
+            &w,
+            |b, w| b.iter(|| black_box(classify_bipartite(&w.bipartite))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_recognizers);
+criterion_main!(benches);

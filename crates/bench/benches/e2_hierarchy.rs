@@ -1,0 +1,30 @@
+//! E2 — classification throughput across the density sweep that drives
+//! the hierarchy-frequency table (the timing face of Theorem 1's
+//! recognizers on random inputs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc::chordality::classify_bipartite;
+use mcc::gen::random_bipartite;
+use mcc::hypergraph::AcyclicityDegree;
+use std::hint::black_box;
+
+fn bench_hierarchy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_hierarchy");
+    group.sample_size(20);
+    for p in [15u32, 35, 50] {
+        let bg = random_bipartite(6, 6, f64::from(p) / 100.0, 11);
+        let cleaned = mcc::chordality::chordal_bipartite::drop_isolated_v2(&bg);
+        group.bench_with_input(BenchmarkId::new("classify", p), &cleaned, |b, g| {
+            b.iter(|| black_box(classify_bipartite(g)))
+        });
+        if let Ok((h, _, _)) = mcc::hypergraph::h1_of_bipartite(&cleaned) {
+            group.bench_with_input(BenchmarkId::new("degree", p), &h, |b, h| {
+                b.iter(|| black_box(AcyclicityDegree::of(h)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hierarchy);
+criterion_main!(benches);

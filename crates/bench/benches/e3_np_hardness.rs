@@ -1,0 +1,27 @@
+//! E3 — the Theorem 2 hardness shape: exact Steiner on X3C gadgets blows
+//! up with `q`, while Algorithm 1 (pseudo-Steiner on the same graphs)
+//! stays flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc::steiner::{algorithm1, steiner_exact, SteinerInstance};
+use mcc_bench::x3c_workload;
+use std::hint::black_box;
+
+fn bench_np_hardness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_np_hardness");
+    group.sample_size(10);
+    for q in [1usize, 2, 3] {
+        let (w, _) = x3c_workload(q, 13);
+        group.bench_with_input(BenchmarkId::new("exact_steiner", q), &w, |b, w| {
+            let inst = SteinerInstance::new(w.graph().clone(), w.terminals.clone());
+            b.iter(|| black_box(steiner_exact(&inst).expect("planted instance feasible")))
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm1_pseudo", q), &w, |b, w| {
+            b.iter(|| black_box(algorithm1(&w.bipartite, &w.terminals).expect("alpha-acyclic")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_np_hardness);
+criterion_main!(benches);

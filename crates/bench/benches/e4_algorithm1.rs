@@ -1,0 +1,23 @@
+//! E4 — Algorithm 1 runtime scaling on α-acyclic schemas (Theorem 4's
+//! `O(|V|·|A|)` claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc::steiner::algorithm1;
+use mcc_bench::alpha_workload;
+use std::hint::black_box;
+
+fn bench_algorithm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_algorithm1");
+    group.sample_size(15);
+    for edges in [16usize, 32, 64, 128] {
+        let w = alpha_workload(edges, 4, 5);
+        group.throughput(Throughput::Elements(w.va() as u64));
+        group.bench_with_input(BenchmarkId::new("algorithm1", edges), &w, |b, w| {
+            b.iter(|| black_box(algorithm1(&w.bipartite, &w.terminals).expect("on-class")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm1);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E5 — Algorithm 2 runtime scaling on (6,2)-chordal graphs (Theorem 5's
+//! `O(|V|·|A|)` claim), with the exact solver as the crossover reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc::steiner::{algorithm2, steiner_exact, SteinerInstance};
+use mcc_bench::six_two_workload;
+use std::hint::black_box;
+
+fn bench_algorithm2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_algorithm2");
+    group.sample_size(15);
+    for blocks in [4usize, 8, 16, 32] {
+        let w = six_two_workload(blocks, 5, 3);
+        group.throughput(Throughput::Elements(w.va() as u64));
+        group.bench_with_input(BenchmarkId::new("algorithm2", blocks), &w, |b, w| {
+            b.iter(|| black_box(algorithm2(w.graph(), &w.terminals).expect("connected")))
+        });
+        // Exact comparison only at the small end (it is the exponential
+        // baseline, not the subject).
+        if blocks <= 8 {
+            group.bench_with_input(BenchmarkId::new("exact", blocks), &w, |b, w| {
+                let inst = SteinerInstance::new(w.graph().clone(), w.terminals.clone());
+                b.iter(|| black_box(steiner_exact(&inst).expect("connected")))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm2);
+criterion_main!(benches);

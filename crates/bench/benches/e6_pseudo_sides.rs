@@ -1,0 +1,37 @@
+//! E6 — Corollary 4: pseudo-Steiner on both sides of β-acyclic
+//! (interval) schemas, timed. The two sides route through Algorithm 1
+//! (V₂ directly, V₁ via the side swap); both must stay polynomial-fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc::gen::interval::{random_interval_hypergraph, IntervalShape};
+use mcc::gen::random_terminals;
+use mcc::graph::connected_components;
+use mcc::steiner::{pseudo_steiner, PseudoSide};
+use std::hint::black_box;
+
+fn bench_pseudo_sides(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_pseudo_sides");
+    group.sample_size(20);
+    for nodes in [24usize, 48, 96] {
+        let shape = IntervalShape { nodes, edges: nodes, max_len: 5 };
+        let (_, bg) = random_interval_hypergraph(shape, 5);
+        let g = bg.graph();
+        // Terminals inside the largest component.
+        let comps = connected_components(g, &mcc::graph::NodeSet::full(g.node_count()));
+        let biggest = comps.iter().max_by_key(|c| c.len()).expect("nonempty").clone();
+        let terminals = random_terminals(g, Some(&biggest), 4.min(biggest.len()), 77);
+        for side in [PseudoSide::V1, PseudoSide::V2] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{side:?}"), nodes),
+                &(&bg, &terminals),
+                |b, (bg, terminals)| {
+                    b.iter(|| black_box(pseudo_steiner(bg, terminals, side).expect("on-class")))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pseudo_sides);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E7 — good orderings: Corollary 5 (ordering-invariance on (6,2)-chordal
+//! graphs) timed across scan orders, plus the Fig. 11 elimination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc::figures;
+use mcc::graph::NodeId;
+use mcc::steiner::{algorithm2_with_order, eliminate_with_ordering};
+use mcc_bench::six_two_workload;
+use std::hint::black_box;
+
+fn bench_orderings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_good_orderings");
+    group.sample_size(20);
+
+    let w = six_two_workload(12, 5, 21);
+    let n = w.graph().node_count();
+    let forward: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+    let reverse: Vec<NodeId> = (0..n).rev().map(NodeId::from_index).collect();
+    // Corollary 5 sanity while measuring: both orders give equal cost.
+    let a = algorithm2_with_order(w.graph(), &w.terminals, &forward).expect("connected");
+    let b = algorithm2_with_order(w.graph(), &w.terminals, &reverse).expect("connected");
+    assert_eq!(a.node_cost(), b.node_cost(), "Corollary 5 violated in bench setup");
+
+    for (name, order) in [("forward", &forward), ("reverse", &reverse)] {
+        group.bench_with_input(BenchmarkId::new("six_two", name), order, |bch, order| {
+            bch.iter(|| {
+                black_box(
+                    algorithm2_with_order(w.graph(), &w.terminals, order).expect("connected"),
+                )
+            })
+        });
+    }
+
+    // Fig. 11: the Theorem 6 counterexample elimination.
+    let f = figures::fig11();
+    let g = f.g.graph().clone();
+    let (first, terms) = f.cases[0].clone();
+    let mut order: Vec<NodeId> = vec![first];
+    order.extend(g.nodes().filter(|v| *v != first));
+    group.bench_function("fig11_bad_case", |bch| {
+        bch.iter(|| black_box(eliminate_with_ordering(&g, &order, &terms).expect("feasible")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_orderings);
+criterion_main!(benches);

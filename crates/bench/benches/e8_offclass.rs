@@ -1,0 +1,30 @@
+//! E8 — off-class behaviour: the one-pass elimination (Algorithm 2 run
+//! outside its class) and the KMB heuristic against the exact solver on
+//! random bipartite graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc::steiner::{algorithm2, steiner_exact, steiner_kmb, SteinerInstance};
+use mcc_bench::offclass_workload;
+use std::hint::black_box;
+
+fn bench_offclass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_offclass");
+    group.sample_size(12);
+    let Some(w) = (0..32).find_map(|seed| offclass_workload(10, 4, seed)) else {
+        panic!("no feasible off-class workload found");
+    };
+    group.bench_with_input(BenchmarkId::new("greedy_elimination", w.tag.clone()), &w, |b, w| {
+        b.iter(|| black_box(algorithm2(w.graph(), &w.terminals).expect("feasible")))
+    });
+    group.bench_with_input(BenchmarkId::new("kmb", w.tag.clone()), &w, |b, w| {
+        b.iter(|| black_box(steiner_kmb(w.graph(), &w.terminals).expect("feasible")))
+    });
+    group.bench_with_input(BenchmarkId::new("exact", w.tag.clone()), &w, |b, w| {
+        let inst = SteinerInstance::new(w.graph().clone(), w.terminals.clone());
+        b.iter(|| black_box(steiner_exact(&inst).expect("feasible")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_offclass);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Maximum cardinality search on graphs (Tarjan–Yannakakis).
+
+use mcc_graph::{Graph, NodeId};
+
+/// Computes a maximum-cardinality-search ordering: repeatedly select an
+/// unvisited node adjacent to the largest number of visited nodes (ties
+/// toward smaller id). For chordal graphs the **reverse** of this order is
+/// a perfect elimination ordering (Tarjan & Yannakakis, reference \[12\] of
+/// the paper).
+///
+/// This implementation keeps per-node weights and scans buckets, giving
+/// `O(n + m)` up to the bucket bookkeeping.
+pub fn mcs_order(g: &Graph) -> Vec<NodeId> {
+    let n = g.node_count();
+    let mut weight = vec![0usize; n];
+    let mut visited = vec![false; n];
+    // buckets[w] = nodes with current weight w (lazily cleaned).
+    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new()];
+    buckets[0].extend(g.nodes());
+    let mut max_weight = 0usize;
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        // Find the highest non-empty bucket with an unvisited node; ties
+        // break toward the smallest id for determinism.
+        let v = loop {
+            // Purge stale entries (visited, or promoted to a higher
+            // bucket), then take the minimum survivor.
+            buckets[max_weight]
+                .retain(|c| !visited[c.index()] && weight[c.index()] == max_weight);
+            match buckets[max_weight].iter().copied().min() {
+                Some(v) => {
+                    buckets[max_weight].retain(|&c| c != v);
+                    break v;
+                }
+                None => {
+                    assert!(max_weight > 0, "weight-0 bucket holds all unvisited nodes");
+                    max_weight -= 1;
+                }
+            }
+        };
+        visited[v.index()] = true;
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !visited[u.index()] {
+                weight[u.index()] += 1;
+                let w = weight[u.index()];
+                if w >= buckets.len() {
+                    buckets.resize(w + 1, Vec::new());
+                }
+                buckets[w].push(u);
+                if w > max_weight {
+                    max_weight = w;
+                }
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_graph::builder::graph_from_edges;
+
+    #[test]
+    fn visits_all_nodes_once() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4)]);
+        let order = mcs_order(&g);
+        assert_eq!(order.len(), 6);
+        let mut s = order.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn prefers_nodes_with_more_visited_neighbors() {
+        // Triangle 0,1,2 plus pendant 3 on node 0. After visiting 0 and 1,
+        // node 2 (two visited neighbors) must precede node 3 (one).
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (0, 2), (0, 3)]);
+        let order = mcs_order(&g);
+        let pos = |v: u32| order.iter().position(|&x| x == NodeId(v)).unwrap();
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(0, &[]);
+        assert!(mcs_order(&g).is_empty());
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let order = mcs_order(&g);
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn reverse_is_peo_on_chordal() {
+        // A 3-sun-free chordal example: K4 minus an edge plus a tail.
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]);
+        let mut order = mcs_order(&g);
+        order.reverse();
+        assert!(crate::peo::is_perfect_elimination_ordering(&g, &order));
+    }
+}

@@ -1,0 +1,82 @@
+//! Side projections of bipartite graphs (the primal graphs of `H¹`/`H²`).
+
+use mcc_graph::{BipartiteGraph, Graph, NodeId, Side};
+
+/// The projection of `bg` onto side `s`: a graph whose nodes are the
+/// `s`-side nodes of `bg`, with an arc between two of them iff they share
+/// a neighbor (necessarily on the other side).
+///
+/// For `s = V1` this is exactly the primal graph `G(H¹_G)` of
+/// Definition 7 — the object whose chordality characterizes
+/// V₂-chordality of `bg` (Fact (a) in the proof of Theorem 1). Returns
+/// the projection together with the map from projection ids back to `bg`
+/// ids.
+pub fn project_onto(bg: &BipartiteGraph, s: Side) -> (Graph, Vec<NodeId>) {
+    let g = bg.graph();
+    let mut to_parent: Vec<NodeId> = Vec::new();
+    let mut index = vec![usize::MAX; g.node_count()];
+    for v in bg.side_nodes(s) {
+        index[v.index()] = to_parent.len();
+        to_parent.push(v);
+    }
+    let mut b = Graph::builder();
+    for &v in &to_parent {
+        b.add_node(g.label(v));
+    }
+    // For every opposite-side node, clique its neighborhood.
+    for w in bg.side_nodes(s.opposite()) {
+        let nbrs = g.neighbors(w);
+        for i in 0..nbrs.len() {
+            for j in (i + 1)..nbrs.len() {
+                b.add_edge(
+                    NodeId::from_index(index[nbrs[i].index()]),
+                    NodeId::from_index(index[nbrs[j].index()]),
+                )
+                .expect("projected ids valid");
+            }
+        }
+    }
+    (b.build(), to_parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_graph::bipartite::bipartite_from_lists;
+
+    #[test]
+    fn projection_connects_nodes_sharing_a_neighbor() {
+        // V1 = {a, b, c}, V2 = {x, y}; x ~ a,b ; y ~ b,c.
+        let bg = bipartite_from_lists(&["a", "b", "c"], &["x", "y"], &[(0, 0), (1, 0), (1, 1), (2, 1)]);
+        let (p, map) = project_onto(&bg, Side::V1);
+        assert_eq!(p.node_count(), 3);
+        assert_eq!(p.edge_count(), 2);
+        assert!(p.has_edge(NodeId(0), NodeId(1)));
+        assert!(p.has_edge(NodeId(1), NodeId(2)));
+        assert!(!p.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(bg.graph().label(map[0]), "a");
+    }
+
+    #[test]
+    fn projection_onto_v2() {
+        let bg = bipartite_from_lists(&["a"], &["x", "y"], &[(0, 0), (0, 1)]);
+        let (p, _) = project_onto(&bg, Side::V2);
+        assert_eq!(p.node_count(), 2);
+        assert!(p.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn isolated_side_nodes_stay_isolated() {
+        let bg = bipartite_from_lists(&["a", "b"], &["x"], &[(0, 0)]);
+        let (p, _) = project_onto(&bg, Side::V1);
+        assert_eq!(p.node_count(), 2);
+        assert_eq!(p.edge_count(), 0);
+    }
+
+    #[test]
+    fn labels_preserved() {
+        let bg = bipartite_from_lists(&["alpha", "beta"], &["rel"], &[(0, 0), (1, 0)]);
+        let (p, _) = project_onto(&bg, Side::V1);
+        assert_eq!(p.label(NodeId(1)), "beta");
+    }
+}

@@ -1,0 +1,70 @@
+//! # `mcc` — Minimal Conceptual Connections
+//!
+//! A production-quality Rust reproduction of
+//!
+//! > G. Ausiello, A. D'Atri, M. Moscarini,
+//! > *Chordality Properties on Graphs and Minimal Conceptual Connections
+//! > in Semantic Data Models*, PODS 1985 / JCSS 33(2):179–202, 1986.
+//!
+//! The paper relates **chordality classes of bipartite graphs** to the
+//! classical **hypergraph acyclicity hierarchy** (Berge ⊂ γ ⊂ β ⊂ α,
+//! Theorem 1), and maps out where the **Steiner** ("minimal conceptual
+//! connection") and **pseudo-Steiner** problems become tractable:
+//!
+//! | class | Steiner | pseudo-Steiner (V₂) |
+//! |---|---|---|
+//! | (6,2)-chordal (γ-acyclic) | **poly — Algorithm 2** (Thm 5) | poly |
+//! | V₂-chordal ∧ V₂-conformal (α-acyclic) | NP-complete (Thm 2) | **poly — Algorithm 1** (Thms 3–4) |
+//! | general bipartite | NP-complete | NP-complete |
+//!
+//! This crate is the facade: it re-exports the whole workspace, adds the
+//! auto-dispatching [`Solver`], and reconstructs every figure of the
+//! paper in [`figures`].
+//!
+//! ```
+//! use mcc::figures;
+//! use mcc::prelude::*;
+//!
+//! let fig3 = figures::fig3();
+//! assert!(classify_bipartite(&fig3.b).six_two);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`graph`] / [`hypergraph`] — the substrates (graphs, bipartite
+//!   graphs, hypergraphs, duals, acyclicity recognizers);
+//! * [`chordality`] — all recognizers of Definitions 4–5;
+//! * [`steiner`] — exact solvers, Algorithms 1 and 2, heuristics, good
+//!   orderings;
+//! * [`reductions`] — the Theorem 2 (X3C) and Fig. 9 (CSPC) gadgets;
+//! * [`gen`] — seeded workload generators for every class;
+//! * [`datamodel`] — ER/relational schemas and the query interface;
+//! * [`figures`] — the paper's figures as ready-made instances;
+//! * [`solver`] — one-call solving with automatic algorithm selection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mcc_chordality as chordality;
+pub use mcc_datamodel as datamodel;
+pub use mcc_gen as gen;
+pub use mcc_graph as graph;
+pub use mcc_hypergraph as hypergraph;
+pub use mcc_reductions as reductions;
+pub use mcc_steiner as steiner;
+
+pub mod figures;
+pub mod solver;
+
+pub use solver::{Solution, Solver, SolverError, SteinerStrategy};
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use mcc_chordality::{classify_bipartite, BipartiteClassification};
+    pub use mcc_datamodel::{QueryEngine, RelationalSchema};
+    pub use mcc_graph::{BipartiteGraph, Graph, NodeId, NodeSet, Side};
+    pub use mcc_hypergraph::{AcyclicityDegree, Hypergraph};
+    pub use mcc_steiner::{SteinerInstance, SteinerTree};
+
+    pub use crate::solver::{Solution, Solver, SteinerStrategy};
+}

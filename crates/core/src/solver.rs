@@ -1,0 +1,280 @@
+//! One-call Steiner/pseudo-Steiner solving with automatic algorithm
+//! selection along the paper's complexity map.
+
+use mcc_chordality::{classify_bipartite, BipartiteClassification};
+use mcc_graph::{BipartiteGraph, NodeSet, Side};
+use mcc_steiner::{
+    algorithm1, algorithm2, steiner_exact, steiner_exact_node_weighted, steiner_kmb,
+    SteinerInstance, SteinerTree,
+};
+use std::fmt;
+
+/// Which algorithm answered, and with what guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SteinerStrategy {
+    /// Algorithm 2 (Theorem 5) — optimal, polynomial; graph is
+    /// (6,2)-chordal.
+    Algorithm2,
+    /// Algorithm 1 (Theorems 3–4) — side-optimal, polynomial; `H` of the
+    /// witness side is α-acyclic.
+    Algorithm1,
+    /// Exact Dreyfus–Wagner — optimal, exponential in the terminal count.
+    Exact,
+    /// KMB heuristic — 2-approximate.
+    Heuristic,
+}
+
+impl SteinerStrategy {
+    /// Whether the strategy guarantees optimality for the cost it
+    /// minimizes.
+    pub fn optimal(self) -> bool {
+        !matches!(self, SteinerStrategy::Heuristic)
+    }
+}
+
+/// A solved connection.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The connecting tree.
+    pub tree: SteinerTree,
+    /// The algorithm that produced it.
+    pub strategy: SteinerStrategy,
+    /// The minimized cost: total nodes for Steiner solves, side nodes for
+    /// pseudo-Steiner solves.
+    pub cost: usize,
+}
+
+/// Solver failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolverError {
+    /// The terminals are not in one connected component.
+    Disconnected,
+    /// The instance is too large for the exact fallback and the heuristic
+    /// was disallowed.
+    TooLargeForExact,
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::Disconnected => write!(f, "terminals cannot be connected"),
+            SolverError::TooLargeForExact => {
+                write!(f, "instance too large for exact solving and heuristics disabled")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolverError {}
+
+/// Tuning knobs for the fallback chain.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Use the exact solver when the terminal count is at most this.
+    pub max_exact_terminals: usize,
+    /// Permit the KMB heuristic as a last resort.
+    pub allow_heuristic: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig { max_exact_terminals: 12, allow_heuristic: true }
+    }
+}
+
+/// A prepared solver: classifies the graph once, then answers queries by
+/// the strongest applicable algorithm.
+#[derive(Debug, Clone)]
+pub struct Solver {
+    bg: BipartiteGraph,
+    classification: BipartiteClassification,
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// Classifies `bg` and prepares a solver with default configuration.
+    pub fn new(bg: BipartiteGraph) -> Self {
+        Self::with_config(bg, SolverConfig::default())
+    }
+
+    /// Classifies `bg` with explicit configuration.
+    pub fn with_config(bg: BipartiteGraph, config: SolverConfig) -> Self {
+        let classification = classify_bipartite(&bg);
+        Solver { bg, classification, config }
+    }
+
+    /// The classification computed at construction.
+    pub fn classification(&self) -> &BipartiteClassification {
+        &self.classification
+    }
+
+    /// The graph.
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.bg
+    }
+
+    /// Solves the (node-count) Steiner problem: Algorithm 2 when the
+    /// class allows, otherwise exact for small terminal sets, otherwise
+    /// the heuristic.
+    pub fn solve_steiner(&self, terminals: &NodeSet) -> Result<Solution, SolverError> {
+        let g = self.bg.graph();
+        if self.classification.six_two {
+            let tree = algorithm2(g, terminals).ok_or(SolverError::Disconnected)?;
+            let cost = tree.node_cost();
+            return Ok(Solution { tree, strategy: SteinerStrategy::Algorithm2, cost });
+        }
+        if terminals.len() <= self.config.max_exact_terminals {
+            let sol = steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone()))
+                .ok_or(SolverError::Disconnected)?;
+            let cost = sol.tree.node_cost();
+            return Ok(Solution { tree: sol.tree, strategy: SteinerStrategy::Exact, cost });
+        }
+        if self.config.allow_heuristic {
+            let tree = steiner_kmb(g, terminals).ok_or(SolverError::Disconnected)?;
+            let cost = tree.node_cost();
+            return Ok(Solution { tree, strategy: SteinerStrategy::Heuristic, cost });
+        }
+        Err(SolverError::TooLargeForExact)
+    }
+
+    /// Solves the pseudo-Steiner problem w.r.t. `side`: Algorithm 1 when
+    /// the corresponding hypergraph is α-acyclic, otherwise exact
+    /// node-weighted Dreyfus–Wagner for small terminal sets.
+    pub fn solve_pseudo(&self, terminals: &NodeSet, side: Side) -> Result<Solution, SolverError> {
+        let applicable = match side {
+            Side::V2 => self.classification.pseudo_steiner_v2_polynomial(),
+            Side::V1 => self.classification.pseudo_steiner_v1_polynomial(),
+        };
+        if applicable {
+            let oriented = match side {
+                Side::V2 => self.bg.clone(),
+                Side::V1 => self.bg.swap_sides(),
+            };
+            let out = algorithm1(&oriented, terminals).map_err(|_| SolverError::Disconnected)?;
+            return Ok(Solution {
+                tree: out.tree,
+                strategy: SteinerStrategy::Algorithm1,
+                cost: out.v2_cost,
+            });
+        }
+        if terminals.len() <= self.config.max_exact_terminals {
+            let g = self.bg.graph();
+            let weights: Vec<u64> = g
+                .nodes()
+                .map(|v| u64::from(self.bg.side(v) == side))
+                .collect();
+            let sol = steiner_exact_node_weighted(g, terminals, &weights)
+                .ok_or(SolverError::Disconnected)?;
+            return Ok(Solution {
+                tree: sol.tree,
+                strategy: SteinerStrategy::Exact,
+                cost: sol.cost as usize,
+            });
+        }
+        Err(SolverError::TooLargeForExact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_gen::{random_six_two_block_tree, random_terminals};
+    use mcc_graph::bipartite::bipartite_from_lists;
+
+    #[test]
+    fn six_two_graphs_use_algorithm2() {
+        let bg = random_six_two_block_tree(Default::default(), 1);
+        let terminals = random_terminals(bg.graph(), None, 3, 2);
+        let solver = Solver::new(bg);
+        let sol = solver.solve_steiner(&terminals).unwrap();
+        assert_eq!(sol.strategy, SteinerStrategy::Algorithm2);
+        assert!(sol.tree.is_valid_tree(solver.graph().graph()));
+        assert!(terminals.is_subset_of(&sol.tree.nodes));
+    }
+
+    #[test]
+    fn off_class_small_instances_use_exact() {
+        // A chordless 6-cycle: not (6,2).
+        let bg = bipartite_from_lists(
+            &["x1", "x2", "x3"],
+            &["y1", "y2", "y3"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)],
+        );
+        let n = bg.graph().node_count();
+        let terminals = NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(1)]);
+        let solver = Solver::new(bg);
+        let sol = solver.solve_steiner(&terminals).unwrap();
+        assert_eq!(sol.strategy, SteinerStrategy::Exact);
+        assert_eq!(sol.cost, 3);
+    }
+
+    #[test]
+    fn pseudo_dispatches_to_algorithm1() {
+        let (_, bg) = mcc_gen::random_alpha_acyclic(Default::default(), 4);
+        let v1 = bg.v1_set();
+        let terminals = random_terminals(bg.graph(), Some(&v1), 2, 3);
+        let solver = Solver::new(bg);
+        match solver.solve_pseudo(&terminals, Side::V2) {
+            Ok(sol) => assert_eq!(sol.strategy, SteinerStrategy::Algorithm1),
+            Err(SolverError::Disconnected) => {} // terminals may span components
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn pseudo_falls_back_to_exact_off_class() {
+        let bg = bipartite_from_lists(
+            &["x1", "x2", "x3"],
+            &["y1", "y2", "y3"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)],
+        );
+        let n = bg.graph().node_count();
+        let terminals =
+            NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(2)]);
+        let solver = Solver::new(bg);
+        let sol = solver.solve_pseudo(&terminals, Side::V2).unwrap();
+        assert_eq!(sol.strategy, SteinerStrategy::Exact);
+        assert_eq!(sol.cost, 1); // one relation suffices on the cycle
+    }
+
+    #[test]
+    fn disconnected_reported() {
+        let bg = bipartite_from_lists(&["a", "b"], &["r", "s"], &[(0, 0), (1, 1)]);
+        let n = bg.graph().node_count();
+        let terminals =
+            NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(1)]);
+        let solver = Solver::new(bg);
+        assert_eq!(solver.solve_steiner(&terminals), Err(SolverError::Disconnected));
+        assert_eq!(
+            solver.solve_pseudo(&terminals, Side::V2),
+            Err(SolverError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn heuristic_gate() {
+        let bg = bipartite_from_lists(
+            &["x1", "x2", "x3"],
+            &["y1", "y2", "y3"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)],
+        );
+        let n = bg.graph().node_count();
+        let terminals = NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(1)]);
+        let cfg = SolverConfig { max_exact_terminals: 0, allow_heuristic: false };
+        let solver = Solver::with_config(bg.clone(), cfg);
+        assert_eq!(solver.solve_steiner(&terminals), Err(SolverError::TooLargeForExact));
+        let cfg = SolverConfig { max_exact_terminals: 0, allow_heuristic: true };
+        let solver = Solver::with_config(bg, cfg);
+        assert_eq!(
+            solver.solve_steiner(&terminals).unwrap().strategy,
+            SteinerStrategy::Heuristic
+        );
+    }
+}
+
+impl PartialEq for Solution {
+    /// Solutions compare by tree, strategy, and cost.
+    fn eq(&self, other: &Self) -> bool {
+        self.tree == other.tree && self.strategy == other.strategy && self.cost == other.cost
+    }
+}

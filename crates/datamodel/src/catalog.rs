@@ -1,0 +1,157 @@
+//! A catalog of realistic schema fixtures, one per point of the paper's
+//! tractability map. Used by examples, docs, and tests — and handy as
+//! starting points for users' own schemas.
+
+use crate::relational::RelationalSchema;
+
+/// A γ-acyclic ((6,2)-chordal) schema that is **not** Berge-acyclic:
+/// ENROLLED and WAITLIST share two attributes (student, course), which
+/// already creates a Berge cycle, yet full Steiner connections remain
+/// tractable (Theorem 5).
+pub fn university() -> RelationalSchema {
+    RelationalSchema::from_lists(
+        "university",
+        &["student", "course", "grade", "lecturer", "room"],
+        &[
+            ("ENROLLED", &[0, 1, 2]),
+            ("WAITLIST", &[0, 1]),
+            ("TEACHES", &[1, 3]),
+            ("LOCATED", &[3, 4]),
+        ],
+    )
+}
+
+/// A Berge-acyclic star schema (the strongest class): a fact table with
+/// dimension tables sharing one key each.
+pub fn sales_star() -> RelationalSchema {
+    RelationalSchema::from_lists(
+        "sales_star",
+        &[
+            "sale_id", "customer_id", "product_id", "store_id", // fact keys
+            "cust_name", "cust_city", // customer dims
+            "prod_name", "prod_cat", // product dims
+            "store_city", // store dims
+        ],
+        &[
+            ("SALES", &[0, 1, 2, 3]),
+            ("CUSTOMERS", &[1, 4, 5]),
+            ("PRODUCTS", &[2, 6, 7]),
+            ("STORES", &[3, 8]),
+        ],
+    )
+}
+
+/// A β-acyclic but not γ-acyclic schema: two index relations hang off
+/// the wide EVENTS relation through the shared `ts`, each keeping one
+/// private overlap with it — the canonical special-γ-cycle shape
+/// (`e1 = {a,b,d}, e2 = {a,d}, e3 = {b,d}`).
+pub fn nested_logs() -> RelationalSchema {
+    RelationalSchema::from_lists(
+        "nested_logs",
+        &["ts", "host", "trace_id", "msg", "level"],
+        &[
+            ("EVENTS", &[0, 1, 2, 3, 4]),
+            ("BY_HOST", &[0, 1]),
+            ("BY_TRACE", &[0, 2]),
+        ],
+    )
+}
+
+/// An α-acyclic but not β-acyclic schema: a cyclic triple of pairwise
+/// link tables *plus* the covering wide relation. Minimum-relation
+/// queries are tractable (Algorithm 1); full Steiner is NP-hard on this
+/// class (Theorem 2).
+pub fn triangle_with_root() -> RelationalSchema {
+    RelationalSchema::from_lists(
+        "triangle_with_root",
+        &["user", "role", "resource", "grant_id"],
+        &[
+            ("USER_ROLE", &[0, 1]),
+            ("ROLE_RES", &[1, 2]),
+            ("USER_RES", &[0, 2]),
+            ("GRANTS", &[0, 1, 2, 3]),
+        ],
+    )
+}
+
+/// A genuinely cyclic schema: the triple of link tables without a cover.
+/// Outside every tractable class; the audit proposes an α-repair.
+pub fn access_triangle() -> RelationalSchema {
+    RelationalSchema::from_lists(
+        "access_triangle",
+        &["user", "role", "resource"],
+        &[("USER_ROLE", &[0, 1]), ("ROLE_RES", &[1, 2]), ("USER_RES", &[0, 2])],
+    )
+}
+
+/// All catalog schemas, for sweep-style tests and demos.
+pub fn all() -> Vec<RelationalSchema> {
+    vec![
+        sales_star(),
+        university(),
+        nested_logs(),
+        triangle_with_root(),
+        access_triangle(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::audit_relational;
+    use mcc_hypergraph::AcyclicityDegree;
+
+    #[test]
+    fn catalog_spans_the_whole_hierarchy() {
+        let degrees: Vec<AcyclicityDegree> = all()
+            .iter()
+            .map(|s| audit_relational(s).expect("catalog schemas are valid").degree)
+            .collect();
+        assert_eq!(
+            degrees,
+            vec![
+                AcyclicityDegree::Berge,
+                AcyclicityDegree::Gamma,
+                AcyclicityDegree::Beta,
+                AcyclicityDegree::Alpha,
+                AcyclicityDegree::Cyclic,
+            ],
+            "one catalog schema per acyclicity degree"
+        );
+    }
+
+    #[test]
+    fn university_is_gamma_not_berge() {
+        let rep = audit_relational(&university()).unwrap();
+        assert_eq!(rep.degree, AcyclicityDegree::Gamma);
+        assert!(rep.classification.six_two);
+    }
+
+    #[test]
+    fn nested_logs_is_beta_not_gamma() {
+        let rep = audit_relational(&nested_logs()).unwrap();
+        assert_eq!(rep.degree, AcyclicityDegree::Beta);
+        assert!(rep.classification.six_one && !rep.classification.six_two);
+    }
+
+    #[test]
+    fn triangle_with_root_is_alpha_not_beta() {
+        let rep = audit_relational(&triangle_with_root()).unwrap();
+        assert_eq!(rep.degree, AcyclicityDegree::Alpha);
+        assert!(rep.classification.pseudo_steiner_v2_polynomial());
+        assert!(!rep.classification.six_one);
+    }
+
+    #[test]
+    fn every_catalog_schema_answers_queries() {
+        for schema in all() {
+            let engine = crate::QueryEngine::new(schema.clone()).expect("valid schema");
+            // Connect the first and last attribute; every catalog schema
+            // is connected.
+            let a = schema.attributes.first().expect("nonempty").as_str();
+            let b = schema.attributes.last().expect("nonempty").as_str();
+            let it = engine.connect(&[a, b]).expect("connected schema");
+            assert!(it.tree.is_valid_tree(engine.graph().graph()), "{}", schema.name);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Translating a minimal connection into a relational query plan.
+//!
+//! The paper's motivation is a universal-relation interface: once the
+//! system has picked a connection (a tree over the named objects), it
+//! must "translate the query in terms of relational operations"
+//! (Section 1). For a tree over the schema's bipartite graph this is
+//! mechanical — and lossless, which is the point of *minimal*
+//! connections: joins follow the tree's relation–attribute–relation
+//! paths, and the projection keeps the attributes the user named.
+
+use crate::query::Interpretation;
+use crate::relational::RelationalSchema;
+use mcc_graph::{BipartiteGraph, NodeId, Side};
+use std::fmt;
+
+/// A join plan: a sequence of natural joins plus a final projection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinPlan {
+    /// Relations in join order (a tree traversal: each relation after
+    /// the first shares at least one attribute with an earlier one).
+    pub joins: Vec<String>,
+    /// For each relation after the first, the attributes it shares with
+    /// the part already joined (the join condition).
+    pub join_attributes: Vec<Vec<String>>,
+    /// The final projection: the attributes the user asked about.
+    pub projection: Vec<String>,
+}
+
+impl fmt::Display for JoinPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.joins.is_empty() {
+            return write!(f, "π[{}](∅)", self.projection.join(", "));
+        }
+        write!(f, "π[{}](", self.projection.join(", "))?;
+        write!(f, "{}", self.joins[0])?;
+        for (i, r) in self.joins.iter().enumerate().skip(1) {
+            write!(f, " ⋈[{}] {}", self.join_attributes[i - 1].join(", "), r)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Errors of plan construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The interpretation's tree uses no relation although the query
+    /// names attributes in more than one relation (cannot happen for
+    /// valid interpretations; kept for defensive completeness).
+    NoRelations,
+    /// The tree's relations do not chain by shared attributes — the tree
+    /// was not produced from this schema.
+    DisconnectedJoins(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::NoRelations => write!(f, "interpretation uses no relations"),
+            PlanError::DisconnectedJoins(r) => {
+                write!(f, "relation {r:?} shares no attribute with the joined part")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Builds the join plan of an interpretation over `schema`'s bipartite
+/// graph. `projection` is the list of query attribute names (relation
+/// names in the query contribute joins, not projections).
+pub fn join_plan(
+    schema: &RelationalSchema,
+    bg: &BipartiteGraph,
+    interpretation: &Interpretation,
+    projection: &[String],
+) -> Result<JoinPlan, PlanError> {
+    let g = bg.graph();
+    // Relation nodes of the tree, joined in a BFS order over the tree so
+    // each next relation shares an attribute with the joined prefix.
+    let rel_nodes: Vec<NodeId> = interpretation
+        .tree
+        .nodes
+        .iter()
+        .filter(|&v| bg.side(v) == Side::V2)
+        .collect();
+    if rel_nodes.is_empty() {
+        return if projection.len() <= 1 {
+            Ok(JoinPlan {
+                joins: vec![],
+                join_attributes: vec![],
+                projection: projection.to_vec(),
+            })
+        } else {
+            Err(PlanError::NoRelations)
+        };
+    }
+    // Attributes (by name) of each relation, from the schema.
+    let attrs_of = |rel: &str| -> Vec<String> {
+        schema
+            .relations
+            .iter()
+            .find(|r| r.name == rel)
+            .map(|r| {
+                r.attributes
+                    .iter()
+                    .map(|&i| schema.attributes[i].clone())
+                    .collect()
+            })
+            .unwrap_or_default()
+    };
+
+    let mut joins = vec![g.label(rel_nodes[0]).to_string()];
+    let mut joined_attrs: Vec<String> = attrs_of(&joins[0]);
+    let mut join_attributes = Vec::new();
+    let mut remaining: Vec<NodeId> = rel_nodes[1..].to_vec();
+    while !remaining.is_empty() {
+        // Pick any remaining relation sharing an attribute with the
+        // joined prefix (exists because the tree is connected through
+        // attribute nodes).
+        let pos = remaining.iter().position(|&r| {
+            attrs_of(g.label(r)).iter().any(|a| joined_attrs.contains(a))
+        });
+        let Some(pos) = pos else {
+            return Err(PlanError::DisconnectedJoins(
+                g.label(remaining[0]).to_string(),
+            ));
+        };
+        let r = remaining.swap_remove(pos);
+        let name = g.label(r).to_string();
+        let shared: Vec<String> = attrs_of(&name)
+            .into_iter()
+            .filter(|a| joined_attrs.contains(a))
+            .collect();
+        joined_attrs.extend(attrs_of(&name));
+        joined_attrs.sort();
+        joined_attrs.dedup();
+        join_attributes.push(shared);
+        joins.push(name);
+    }
+    Ok(JoinPlan { joins, join_attributes, projection: projection.to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryEngine;
+
+    fn university() -> RelationalSchema {
+        RelationalSchema::from_lists(
+            "university",
+            &["student", "course", "grade", "lecturer", "room"],
+            &[
+                ("ENROLLED", &[0, 1, 2]),
+                ("TEACHES", &[1, 3]),
+                ("LOCATED", &[3, 4]),
+            ],
+        )
+    }
+
+    #[test]
+    fn three_way_join_chains_on_shared_attributes() {
+        let schema = university();
+        let engine = QueryEngine::new(schema.clone()).unwrap();
+        let it = engine.connect(&["student", "room"]).unwrap();
+        let plan = join_plan(
+            &schema,
+            engine.graph(),
+            &it,
+            &["student".into(), "room".into()],
+        )
+        .unwrap();
+        assert_eq!(plan.joins.len(), 3);
+        // Each later join shares exactly the schema's join attribute.
+        for shared in &plan.join_attributes {
+            assert!(!shared.is_empty());
+        }
+        let rendered = plan.to_string();
+        assert!(rendered.starts_with("π[student, room]("));
+        assert!(rendered.contains("⋈"));
+    }
+
+    #[test]
+    fn single_relation_query_has_no_join() {
+        let schema = university();
+        let engine = QueryEngine::new(schema.clone()).unwrap();
+        let it = engine.connect(&["student", "grade"]).unwrap();
+        let plan = join_plan(
+            &schema,
+            engine.graph(),
+            &it,
+            &["student".into(), "grade".into()],
+        )
+        .unwrap();
+        assert_eq!(plan.joins, vec!["ENROLLED".to_string()]);
+        assert!(plan.join_attributes.is_empty());
+        assert_eq!(plan.to_string(), "π[student, grade](ENROLLED)");
+    }
+
+    #[test]
+    fn attribute_only_singleton() {
+        let schema = university();
+        let engine = QueryEngine::new(schema.clone()).unwrap();
+        let it = engine.connect(&["student"]).unwrap();
+        let plan =
+            join_plan(&schema, engine.graph(), &it, &["student".into()]).unwrap();
+        assert!(plan.joins.is_empty());
+        assert_eq!(plan.to_string(), "π[student](∅)");
+    }
+}

@@ -1,0 +1,45 @@
+//! # `mcc-datamodel` — semantic data models and the query interface
+//!
+//! The paper's motivation (Section 1): a *logically independent* query
+//! interface lets a user name objects — attributes, entities, relations —
+//! without knowing how they are aggregated; the system answers by finding
+//! a **minimal conceptual connection** among them (a Steiner tree on the
+//! schema graph), possibly offering alternative interpretations.
+//!
+//! This crate provides the data-model layer:
+//!
+//! * [`er`] — entity-relationship schemas (Fig. 1) and their k-partite
+//!   concept graphs;
+//! * [`relational`] — relational schemas ⟷ hypergraphs ⟷ bipartite
+//!   graphs (attributes on `V1`, relations on `V2`);
+//! * [`classify`] — a schema audit: chordality/acyclicity classification
+//!   plus which connection problems are tractable (Section 3's map);
+//! * [`query`] — the query engine: resolve object names, pick the
+//!   strongest applicable algorithm (Algorithm 2 → Algorithm 1 → exact →
+//!   heuristic), return the connection with its provenance;
+//! * [`interpret`] — enumeration of alternative minimal interpretations
+//!   (the EMPLOYEE/DATE ambiguity of the introduction).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod classify;
+pub mod dsl;
+pub mod encode;
+pub mod er;
+pub mod interpret;
+pub mod join_plan;
+pub mod query;
+pub mod relational;
+pub mod session;
+
+pub use classify::{apply_repair_suggestion, audit_relational, SchemaReport};
+pub use dsl::{parse_schema, render_schema};
+pub use encode::er_to_relational;
+pub use er::{ErGraph, ErSchema, NodeKind};
+pub use interpret::{enumerate_connections, enumerate_tree_interpretations};
+pub use join_plan::{join_plan, JoinPlan};
+pub use query::{Interpretation, QueryEngine, QueryError, Strategy};
+pub use relational::RelationalSchema;
+pub use session::{DisambiguationSession, Proposal, SessionError};

@@ -1,0 +1,269 @@
+//! The logically independent query interface of the introduction: the
+//! user names objects; the engine finds a minimal connection.
+
+use crate::classify::audit_relational;
+use crate::relational::{RelationalSchema, RelationalSchemaError};
+use mcc_graph::{BipartiteGraph, NodeId, NodeSet, Side};
+use mcc_steiner::{
+    algorithm1, algorithm2, steiner_exact, steiner_kmb, SteinerInstance, SteinerTree,
+};
+use std::fmt;
+
+/// Which solver produced an interpretation — the provenance the paper's
+/// complexity map dictates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Algorithm 2 (Theorem 5): true minimum-node connection;
+    /// applicable because the schema is (6,2)-chordal.
+    Algorithm2,
+    /// Algorithm 1 (Theorems 3–4): minimum-relation connection;
+    /// applicable because the schema hypergraph is α-acyclic.
+    Algorithm1,
+    /// Exact Dreyfus–Wagner (exponential in the query size): used on
+    /// off-class schemas when the query is small enough.
+    Exact,
+    /// KMB-style heuristic: used as the last resort.
+    Heuristic,
+}
+
+/// One interpretation of a query: a connection over the named objects.
+#[derive(Debug, Clone)]
+pub struct Interpretation {
+    /// The connecting tree.
+    pub tree: SteinerTree,
+    /// How it was computed.
+    pub strategy: Strategy,
+    /// Names of the relations used (V2 nodes of the tree).
+    pub relations: Vec<String>,
+    /// Names of the attributes used (V1 nodes of the tree).
+    pub attributes: Vec<String>,
+}
+
+impl Interpretation {
+    /// Total number of objects in the connection.
+    pub fn node_cost(&self) -> usize {
+        self.tree.node_cost()
+    }
+
+    /// Number of auxiliary objects (beyond the query's own terminals).
+    pub fn auxiliary_cost(&self, terminals: &NodeSet) -> usize {
+        self.tree.node_cost() - terminals.len()
+    }
+}
+
+/// Query failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A name in the query matches no attribute or relation.
+    UnknownName(String),
+    /// The named objects lie in different connected components: no
+    /// connection exists.
+    Disconnected,
+    /// The schema itself failed validation.
+    Schema(RelationalSchemaError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownName(n) => write!(f, "unknown object name {n:?}"),
+            QueryError::Disconnected => write!(f, "the named objects cannot be connected"),
+            QueryError::Schema(e) => write!(f, "invalid schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A prepared query engine over a relational schema.
+///
+/// ```
+/// use mcc_datamodel::{QueryEngine, RelationalSchema};
+///
+/// let schema = RelationalSchema::from_lists(
+///     "hr",
+///     &["emp", "dept", "budget"],
+///     &[("WORKS_IN", &[0, 1]), ("FUNDING", &[1, 2])],
+/// );
+/// let engine = QueryEngine::new(schema).unwrap();
+/// let it = engine.connect(&["emp", "budget"]).unwrap();
+/// assert_eq!(it.relations.len(), 2); // WORKS_IN ⋈ FUNDING over dept
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryEngine {
+    schema: RelationalSchema,
+    bipartite: BipartiteGraph,
+    six_two: bool,
+    alpha: bool,
+}
+
+impl QueryEngine {
+    /// Builds the engine: converts the schema and classifies it once.
+    pub fn new(schema: RelationalSchema) -> Result<Self, QueryError> {
+        let bipartite = schema.to_bipartite().map_err(QueryError::Schema)?;
+        let report = audit_relational(&schema).map_err(QueryError::Schema)?;
+        Ok(QueryEngine {
+            schema,
+            bipartite,
+            six_two: report.classification.six_two,
+            alpha: report.classification.h1_alpha_acyclic(),
+        })
+    }
+
+    /// The underlying schema.
+    pub fn schema(&self) -> &RelationalSchema {
+        &self.schema
+    }
+
+    /// The schema's bipartite graph (attributes on `V1`, relations on
+    /// `V2`).
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.bipartite
+    }
+
+    /// Resolves query names to node ids.
+    pub fn resolve(&self, names: &[&str]) -> Result<NodeSet, QueryError> {
+        let g = self.bipartite.graph();
+        let mut terminals = NodeSet::new(g.node_count());
+        for name in names {
+            match g.node_by_label(name) {
+                Some(v) => {
+                    terminals.insert(v);
+                }
+                None => return Err(QueryError::UnknownName(name.to_string())),
+            }
+        }
+        Ok(terminals)
+    }
+
+    /// Answers a query: the most immediate interpretation — the minimal
+    /// connection among the named objects, computed by the strongest
+    /// algorithm the schema's class licenses.
+    pub fn connect(&self, names: &[&str]) -> Result<Interpretation, QueryError> {
+        let terminals = self.resolve(names)?;
+        self.connect_terminals(&terminals)
+    }
+
+    /// As [`QueryEngine::connect`], from already-resolved terminals.
+    pub fn connect_terminals(&self, terminals: &NodeSet) -> Result<Interpretation, QueryError> {
+        let g = self.bipartite.graph();
+        let (tree, strategy) = if self.six_two {
+            let tree = algorithm2(g, terminals).ok_or(QueryError::Disconnected)?;
+            (tree, Strategy::Algorithm2)
+        } else if self.alpha {
+            let out = algorithm1(&self.bipartite, terminals)
+                .map_err(|_| QueryError::Disconnected)?;
+            (out.tree, Strategy::Algorithm1)
+        } else if terminals.len() <= 10 && g.node_count() <= 64 {
+            let sol = steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone()))
+                .ok_or(QueryError::Disconnected)?;
+            (sol.tree, Strategy::Exact)
+        } else {
+            let tree = steiner_kmb(g, terminals).ok_or(QueryError::Disconnected)?;
+            (tree, Strategy::Heuristic)
+        };
+        Ok(self.interpret(tree, strategy))
+    }
+
+    fn interpret(&self, tree: SteinerTree, strategy: Strategy) -> Interpretation {
+        let g = self.bipartite.graph();
+        let name_of = |v: NodeId| g.label(v).to_string();
+        let relations = tree
+            .nodes
+            .iter()
+            .filter(|&v| self.bipartite.side(v) == Side::V2)
+            .map(name_of)
+            .collect();
+        let attributes = tree
+            .nodes
+            .iter()
+            .filter(|&v| self.bipartite.side(v) == Side::V1)
+            .map(name_of)
+            .collect();
+        Interpretation { tree, strategy, relations, attributes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acyclic_schema() -> RelationalSchema {
+        RelationalSchema::from_lists(
+            "emp",
+            &["emp_id", "name", "dept", "budget"],
+            &[("EMP", &[0, 1, 2]), ("DEPT", &[2, 3])],
+        )
+    }
+
+    #[test]
+    fn connects_attributes_across_relations() {
+        let engine = QueryEngine::new(acyclic_schema()).unwrap();
+        let it = engine.connect(&["name", "budget"]).unwrap();
+        assert!(it.relations.contains(&"EMP".to_string()));
+        assert!(it.relations.contains(&"DEPT".to_string()));
+        assert!(it.attributes.contains(&"dept".to_string())); // the join attribute
+        assert!(it.node_cost() >= 4);
+    }
+
+    #[test]
+    fn strategy_matches_schema_class() {
+        // The acyclic sample is in fact γ-acyclic (two overlapping
+        // relations), so Algorithm 2 fires.
+        let engine = QueryEngine::new(acyclic_schema()).unwrap();
+        let it = engine.connect(&["name", "budget"]).unwrap();
+        assert_eq!(it.strategy, Strategy::Algorithm2);
+
+        // A cyclic schema falls back to the exact solver.
+        let cyc = RelationalSchema::from_lists(
+            "cyc",
+            &["a", "b", "c"],
+            &[("r1", &[0, 1]), ("r2", &[1, 2]), ("r3", &[0, 2])],
+        );
+        let engine = QueryEngine::new(cyc).unwrap();
+        let it = engine.connect(&["a", "b"]).unwrap();
+        assert_eq!(it.strategy, Strategy::Exact);
+        // a and b co-occur in r1: three objects total.
+        assert_eq!(it.node_cost(), 3);
+    }
+
+    #[test]
+    fn relation_names_are_queryable_too() {
+        let engine = QueryEngine::new(acyclic_schema()).unwrap();
+        let it = engine.connect(&["EMP", "budget"]).unwrap();
+        assert!(it.relations.contains(&"EMP".to_string()));
+        assert!(it.tree.is_valid_tree(engine.graph().graph()));
+    }
+
+    #[test]
+    fn unknown_name_and_disconnection_reported() {
+        let engine = QueryEngine::new(acyclic_schema()).unwrap();
+        assert!(matches!(
+            engine.connect(&["name", "salary"]),
+            Err(QueryError::UnknownName(_))
+        ));
+        let disconnected = RelationalSchema::from_lists(
+            "disc",
+            &["a", "b"],
+            &[("r1", &[0]), ("r2", &[1])],
+        );
+        let engine = QueryEngine::new(disconnected).unwrap();
+        assert_eq!(engine.connect(&["a", "b"]), Err(QueryError::Disconnected));
+    }
+
+    #[test]
+    fn single_object_query() {
+        let engine = QueryEngine::new(acyclic_schema()).unwrap();
+        let it = engine.connect(&["name"]).unwrap();
+        assert_eq!(it.node_cost(), 1);
+        assert!(it.relations.is_empty());
+    }
+}
+
+impl PartialEq for Interpretation {
+    /// Interpretations compare by tree and strategy (the name lists are
+    /// derived data).
+    fn eq(&self, other: &Self) -> bool {
+        self.tree == other.tree && self.strategy == other.strategy
+    }
+}

@@ -1,0 +1,228 @@
+//! The interactive disambiguation loop of the paper's introduction.
+//!
+//! > "These minimal connections may correspond to the most immediate
+//! > interpretation of the query or, possibly, to a good starting point
+//! > of an interactive procedure aimed to disambiguating the query by
+//! > progressively disclosing as few concepts as possible to the user."
+//!
+//! A [`DisambiguationSession`] enumerates the tree interpretations of a
+//! query ranked by disclosure cost (auxiliary concepts first appearing),
+//! presents them one at a time, and lets the caller accept or reject —
+//! the machine half of the paper's user-in-the-loop interface.
+
+use crate::interpret::enumerate_tree_interpretations;
+use mcc_graph::{Graph, NodeId, NodeSet};
+use mcc_steiner::SteinerTree;
+
+/// One presented interpretation with its disclosure delta.
+#[derive(Debug, Clone)]
+pub struct Proposal {
+    /// The connecting tree.
+    pub tree: SteinerTree,
+    /// Concepts of the tree beyond the query's own terminals.
+    pub auxiliary: Vec<NodeId>,
+    /// Auxiliary concepts not seen in any previously presented proposal —
+    /// what accepting/inspecting this proposal newly discloses.
+    pub newly_disclosed: Vec<NodeId>,
+}
+
+/// An interactive disambiguation session over a concept graph.
+#[derive(Debug, Clone)]
+pub struct DisambiguationSession {
+    graph: Graph,
+    terminals: NodeSet,
+    alternatives: Vec<SteinerTree>,
+    cursor: usize,
+    disclosed: NodeSet,
+}
+
+/// Session construction failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The query's objects cannot be connected at all.
+    NoInterpretation,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the named objects cannot be connected")
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl DisambiguationSession {
+    /// Opens a session: enumerates up to `max_alternatives`
+    /// interpretations within `max_slack` nodes of the minimum, minimal
+    /// first.
+    pub fn open(
+        graph: &Graph,
+        terminals: &NodeSet,
+        max_alternatives: usize,
+        max_slack: usize,
+    ) -> Result<Self, SessionError> {
+        let alternatives =
+            enumerate_tree_interpretations(graph, terminals, max_alternatives, max_slack);
+        if alternatives.is_empty() {
+            return Err(SessionError::NoInterpretation);
+        }
+        Ok(DisambiguationSession {
+            graph: graph.clone(),
+            terminals: terminals.clone(),
+            alternatives,
+            cursor: 0,
+            disclosed: terminals.clone(),
+        })
+    }
+
+    /// Number of interpretations still on offer (including the current).
+    pub fn remaining(&self) -> usize {
+        self.alternatives.len() - self.cursor
+    }
+
+    /// The current proposal, with its disclosure delta. `None` when the
+    /// user has rejected everything.
+    pub fn current(&self) -> Option<Proposal> {
+        let tree = self.alternatives.get(self.cursor)?;
+        let auxiliary: Vec<NodeId> = tree
+            .nodes
+            .iter()
+            .filter(|v| !self.terminals.contains(*v))
+            .collect();
+        let newly_disclosed: Vec<NodeId> = auxiliary
+            .iter()
+            .copied()
+            .filter(|v| !self.disclosed.contains(*v))
+            .collect();
+        Some(Proposal { tree: tree.clone(), auxiliary, newly_disclosed })
+    }
+
+    /// Renders the current proposal in user-facing terms.
+    pub fn describe_current(&self) -> Option<String> {
+        let p = self.current()?;
+        let names = |xs: &[NodeId]| {
+            xs.iter().map(|&v| self.graph.label(v)).collect::<Vec<_>>().join(", ")
+        };
+        let arcs: Vec<String> = p
+            .tree
+            .edges
+            .iter()
+            .map(|(a, b)| format!("{}--{}", self.graph.label(*a), self.graph.label(*b)))
+            .collect();
+        Some(if p.auxiliary.is_empty() {
+            format!("direct connection [{}]", arcs.join(", "))
+        } else {
+            format!(
+                "via {} [{}]",
+                names(&p.auxiliary),
+                arcs.join(", ")
+            )
+        })
+    }
+
+    /// Rejects the current interpretation and moves to the next, marking
+    /// the rejected one's concepts as disclosed (the user has now seen
+    /// them). Returns the next proposal, if any.
+    pub fn reject(&mut self) -> Option<Proposal> {
+        if let Some(p) = self.current() {
+            for v in p.auxiliary {
+                self.disclosed.insert(v);
+            }
+        }
+        self.cursor += 1;
+        self.current()
+    }
+
+    /// Accepts the current interpretation, consuming the session.
+    /// `None` when everything was already rejected.
+    pub fn accept(self) -> Option<SteinerTree> {
+        self.alternatives.into_iter().nth(self.cursor)
+    }
+
+    /// Total distinct concepts shown to the user so far (terminals plus
+    /// all auxiliaries of inspected proposals) — the quantity the paper
+    /// wants minimized.
+    pub fn disclosed_count(&self) -> usize {
+        let current_aux = self
+            .current()
+            .map(|p| p.newly_disclosed.len())
+            .unwrap_or(0);
+        self.disclosed.len() + current_aux
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::er::fig1_schema;
+
+    fn fig1_session() -> (DisambiguationSession, Graph, NodeSet) {
+        let er = fig1_schema().to_graph().unwrap();
+        let g = er.graph.clone();
+        let terminals = NodeSet::from_nodes(
+            g.node_count(),
+            [er.node("EMPLOYEE").unwrap(), er.node("DATE").unwrap()],
+        );
+        let s = DisambiguationSession::open(&g, &terminals, 5, 2).unwrap();
+        (s, g, terminals)
+    }
+
+    #[test]
+    fn fig1_discloses_progressively() {
+        let (mut s, g, terminals) = fig1_session();
+        assert!(s.remaining() >= 2);
+        // First proposal: the birthdate reading, zero disclosure.
+        let p = s.current().unwrap();
+        assert!(p.auxiliary.is_empty());
+        assert_eq!(s.disclosed_count(), terminals.len());
+        assert!(s.describe_current().unwrap().contains("direct connection"));
+        // Reject: the hire-date reading through WORKS appears.
+        let p = s.reject().unwrap();
+        let works = g.node_by_label("WORKS").unwrap();
+        assert_eq!(p.newly_disclosed, vec![works]);
+        assert!(s.describe_current().unwrap().contains("WORKS"));
+        assert_eq!(s.disclosed_count(), terminals.len() + 1);
+        // Accept the second reading.
+        let tree = s.accept().unwrap();
+        assert!(tree.nodes.contains(works));
+    }
+
+    #[test]
+    fn rejecting_everything_ends_the_session() {
+        let (mut s, _, _) = fig1_session();
+        let mut steps = 0;
+        while s.reject().is_some() {
+            steps += 1;
+            assert!(steps < 100, "session must terminate");
+        }
+        assert_eq!(s.remaining(), 0);
+        assert!(s.current().is_none());
+        assert!(s.describe_current().is_none());
+        assert!(s.accept().is_none());
+    }
+
+    #[test]
+    fn disconnected_query_fails_to_open() {
+        let g = mcc_graph::builder::graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let terminals =
+            NodeSet::from_nodes(4, [mcc_graph::NodeId(0), mcc_graph::NodeId(2)]);
+        assert_eq!(
+            DisambiguationSession::open(&g, &terminals, 5, 2).unwrap_err(),
+            SessionError::NoInterpretation
+        );
+    }
+
+    #[test]
+    fn disclosure_does_not_double_count_shared_concepts() {
+        // A square: two routes sharing nothing; rejecting the first
+        // dislcoses its midpoint, the second adds only the other one.
+        let g = mcc_graph::builder::graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let terminals =
+            NodeSet::from_nodes(4, [mcc_graph::NodeId(0), mcc_graph::NodeId(2)]);
+        let mut s = DisambiguationSession::open(&g, &terminals, 5, 2).unwrap();
+        assert_eq!(s.disclosed_count(), 3); // terminals + first midpoint
+        let p = s.reject().unwrap();
+        assert_eq!(p.newly_disclosed.len(), 1);
+        assert_eq!(s.disclosed_count(), 4);
+    }
+}

@@ -1,0 +1,61 @@
+//! Random terminal-set selection for generated instances.
+
+use crate::rng;
+use mcc_graph::{Graph, NodeId, NodeSet};
+use rand::seq::SliceRandom;
+
+/// Picks `k` distinct random terminals from the nodes of `g`, optionally
+/// restricted to a candidate set.
+///
+/// # Panics
+/// Panics when fewer than `k` candidates exist.
+pub fn random_terminals(
+    g: &Graph,
+    candidates: Option<&NodeSet>,
+    k: usize,
+    seed: u64,
+) -> NodeSet {
+    let mut r = rng(seed);
+    let mut pool: Vec<NodeId> = match candidates {
+        Some(c) => c.to_vec(),
+        None => g.nodes().collect(),
+    };
+    assert!(pool.len() >= k, "not enough candidate terminals ({} < {k})", pool.len());
+    pool.shuffle(&mut r);
+    NodeSet::from_nodes(g.node_count(), pool.into_iter().take(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_graph::builder::graph_from_edges;
+
+    #[test]
+    fn picks_k_distinct_nodes() {
+        let g = graph_from_edges(10, &[(0, 1)]);
+        let t = random_terminals(&g, None, 4, 7);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn respects_candidate_restriction() {
+        let g = graph_from_edges(6, &[]);
+        let cands = NodeSet::from_nodes(6, [NodeId(1), NodeId(3), NodeId(5)]);
+        let t = random_terminals(&g, Some(&cands), 2, 0);
+        assert!(t.is_subset_of(&cands));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough")]
+    fn too_many_requested_panics() {
+        let g = graph_from_edges(2, &[]);
+        let _ = random_terminals(&g, None, 3, 0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = graph_from_edges(20, &[]);
+        assert_eq!(random_terminals(&g, None, 5, 9), random_terminals(&g, None, 5, 9));
+    }
+}

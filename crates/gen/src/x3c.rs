@@ -1,0 +1,81 @@
+//! Random X3C instances (experiment E3 / Theorem 2).
+
+use crate::rng;
+use mcc_reductions::X3cInstance;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A random X3C instance with a **planted** exact cover: the universe is
+/// partitioned into `q` hidden triples, then `extra` random distractor
+/// triples are mixed in (duplicates with the planted ones are possible
+/// and harmless). Always solvable.
+pub fn random_x3c_planted(q: usize, extra: usize, seed: u64) -> X3cInstance {
+    let mut r = rng(seed);
+    let n = 3 * q;
+    let mut perm: Vec<usize> = (0..n).collect();
+    perm.shuffle(&mut r);
+    let mut triples: Vec<[usize; 3]> =
+        perm.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+    for _ in 0..extra {
+        triples.push(random_triple(n, &mut r));
+    }
+    triples.shuffle(&mut r);
+    X3cInstance::new(q, triples)
+}
+
+/// A fully random X3C instance (no solvability guarantee): `k` triples
+/// drawn uniformly from the universe of size `3q`.
+pub fn random_x3c(q: usize, k: usize, seed: u64) -> X3cInstance {
+    let mut r = rng(seed);
+    let n = 3 * q;
+    X3cInstance::new(q, (0..k).map(|_| random_triple(n, &mut r)))
+}
+
+fn random_triple(n: usize, r: &mut impl Rng) -> [usize; 3] {
+    assert!(n >= 3, "universe too small for a triple");
+    let a = r.gen_range(0..n);
+    let b = loop {
+        let x = r.gen_range(0..n);
+        if x != a {
+            break x;
+        }
+    };
+    let c = loop {
+        let x = r.gen_range(0..n);
+        if x != a && x != b {
+            break x;
+        }
+    };
+    [a, b, c]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_instances_are_solvable() {
+        for seed in 0..10 {
+            let inst = random_x3c_planted(3, 4, seed);
+            assert_eq!(inst.triples.len(), 7);
+            let sol = inst.solve_bruteforce().expect("planted cover exists");
+            assert!(inst.is_exact_cover(&sol));
+        }
+    }
+
+    #[test]
+    fn random_instances_have_requested_size() {
+        let inst = random_x3c(4, 9, 3);
+        assert_eq!(inst.q, 4);
+        assert_eq!(inst.triples.len(), 9);
+        for t in &inst.triples {
+            assert!(t[0] < t[1] && t[1] < t[2] && t[2] < 12);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(random_x3c_planted(3, 2, 5), random_x3c_planted(3, 2, 5));
+        assert_eq!(random_x3c(3, 5, 5), random_x3c(3, 5, 5));
+    }
+}

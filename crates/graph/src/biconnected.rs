@@ -1,0 +1,179 @@
+//! Biconnected components and articulation points (Hopcroft–Tarjan).
+//!
+//! Cycles never cross articulation points, so every cycle-quantified
+//! property — all of the paper's (m,n)-chordality classes — holds for a
+//! graph iff it holds for each biconnected block. `mcc-chordality` uses
+//! this for a block-local (6,2) cross-check, and the (6,2) block-tree
+//! *generator* is literally a tree of blocks, so these components also
+//! certify generated workloads.
+
+use crate::{Graph, NodeId, NodeSet};
+
+/// The biconnected structure of a graph.
+#[derive(Debug, Clone)]
+pub struct Biconnected {
+    /// Each biconnected component as its edge list. Bridges appear as
+    /// single-edge components; isolated nodes appear in no component.
+    pub components: Vec<Vec<(NodeId, NodeId)>>,
+    /// The articulation (cut) points.
+    pub articulation_points: NodeSet,
+}
+
+impl Biconnected {
+    /// The node set of component `i`.
+    pub fn component_nodes(&self, i: usize, n: usize) -> NodeSet {
+        let mut s = NodeSet::new(n);
+        for &(a, b) in &self.components[i] {
+            s.insert(a);
+            s.insert(b);
+        }
+        s
+    }
+}
+
+/// Computes biconnected components with an iterative Hopcroft–Tarjan
+/// DFS (no recursion, so deep graphs are safe).
+pub fn biconnected_components(g: &Graph) -> Biconnected {
+    let n = g.node_count();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut timer = 0usize;
+    let mut edge_stack: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut components = Vec::new();
+    let mut articulation = NodeSet::new(n);
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS: (node, next neighbor index).
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+
+        while let Some(&mut (v, ref mut ni)) = stack.last_mut() {
+            let nbrs = g.neighbors(NodeId::from_index(v));
+            if *ni < nbrs.len() {
+                let u = nbrs[*ni].index();
+                *ni += 1;
+                if disc[u] == usize::MAX {
+                    parent[u] = v;
+                    edge_stack.push((NodeId::from_index(v), NodeId::from_index(u)));
+                    disc[u] = timer;
+                    low[u] = timer;
+                    timer += 1;
+                    stack.push((u, 0));
+                    if v == root {
+                        root_children += 1;
+                    }
+                } else if u != parent[v] && disc[u] < disc[v] {
+                    // Back edge.
+                    edge_stack.push((NodeId::from_index(v), NodeId::from_index(u)));
+                    low[v] = low[v].min(disc[u]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[v]);
+                    if low[v] >= disc[p] {
+                        // p separates v's subtree: pop one component.
+                        let mut comp = Vec::new();
+                        while let Some(&e) = edge_stack.last() {
+                            let top = (e.0.index(), e.1.index());
+                            edge_stack.pop();
+                            comp.push(e);
+                            if top == (p, v) {
+                                break;
+                            }
+                        }
+                        if !comp.is_empty() {
+                            components.push(comp);
+                        }
+                        if p != root {
+                            articulation.insert(NodeId::from_index(p));
+                        }
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            articulation.insert(NodeId::from_index(root));
+        }
+    }
+    Biconnected { components, articulation_points: articulation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        // Triangles 0-1-2 and 2-3-4 share node 2.
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.components.len(), 2);
+        assert_eq!(b.articulation_points.to_vec(), vec![NodeId(2)]);
+        for (i, comp) in b.components.iter().enumerate() {
+            assert_eq!(comp.len(), 3, "component {i} is a triangle");
+        }
+    }
+
+    #[test]
+    fn path_is_all_bridges() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.components.len(), 3);
+        assert!(b.components.iter().all(|c| c.len() == 1));
+        assert_eq!(b.articulation_points.to_vec(), vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn cycle_is_one_component_no_cuts() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.components.len(), 1);
+        assert_eq!(b.components[0].len(), 5);
+        assert!(b.articulation_points.is_empty());
+    }
+
+    #[test]
+    fn disconnected_graph_and_isolated_nodes() {
+        let g = graph_from_edges(5, &[(0, 1), (2, 3)]);
+        let b = biconnected_components(&g);
+        assert_eq!(b.components.len(), 2);
+        assert!(b.articulation_points.is_empty());
+        // Node 4 is isolated: in no component.
+        for i in 0..b.components.len() {
+            assert!(!b.component_nodes(i, 5).contains(NodeId(4)));
+        }
+    }
+
+    #[test]
+    fn components_partition_edges() {
+        let g = graph_from_edges(
+            7,
+            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
+        );
+        let b = biconnected_components(&g);
+        let total: usize = b.components.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.edge_count());
+        // Cut points: 2 (triangle/bridge), 3 (bridge/square), 5 (square/bridge).
+        assert_eq!(
+            b.articulation_points.to_vec(),
+            vec![NodeId(2), NodeId(3), NodeId(5)]
+        );
+    }
+
+    #[test]
+    fn component_nodes_helper() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let b = biconnected_components(&g);
+        let nodes = b.component_nodes(0, 3);
+        assert_eq!(nodes.len(), 3);
+    }
+}

@@ -1,0 +1,83 @@
+//! Graphviz DOT export, for inspecting figures and generated workloads.
+
+use crate::{BipartiteGraph, Graph, Side};
+use std::fmt::Write as _;
+
+/// Renders `g` as an undirected Graphviz DOT document.
+pub fn graph_to_dot(g: &Graph, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "graph {name} {{");
+    for v in g.nodes() {
+        let _ = writeln!(s, "  {} [label=\"{}\"];", v.index(), escape(g.label(v)));
+    }
+    for (a, b) in g.edges() {
+        let _ = writeln!(s, "  {} -- {};", a.index(), b.index());
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders a bipartite graph with `V1` boxes on one rank and `V2` ellipses
+/// on another, matching the visual convention of the paper's figures
+/// (attribute nodes vs. relation nodes).
+pub fn bipartite_to_dot(bg: &BipartiteGraph, name: &str) -> String {
+    let g = bg.graph();
+    let mut s = String::new();
+    let _ = writeln!(s, "graph {name} {{");
+    let _ = writeln!(s, "  rankdir=TB;");
+    for side in [Side::V1, Side::V2] {
+        let shape = if side == Side::V1 { "box" } else { "ellipse" };
+        let _ = writeln!(s, "  {{ rank=same;");
+        for v in bg.side_nodes(side) {
+            let _ = writeln!(
+                s,
+                "    {} [label=\"{}\", shape={shape}];",
+                v.index(),
+                escape(g.label(v))
+            );
+        }
+        let _ = writeln!(s, "  }}");
+    }
+    for (a, b) in g.edges() {
+        let _ = writeln!(s, "  {} -- {};", a.index(), b.index());
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn escape(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::bipartite_from_lists;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let dot = graph_to_dot(&g, "g");
+        assert!(dot.starts_with("graph g {"));
+        assert!(dot.contains("0 -- 1;"));
+        assert!(dot.contains("label=\"0\""));
+    }
+
+    #[test]
+    fn bipartite_dot_uses_shapes() {
+        let bg = bipartite_from_lists(&["A"], &["r"], &[(0, 0)]);
+        let dot = bipartite_to_dot(&bg, "bg");
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("0 -- 1;"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut b = Graph::builder();
+        b.add_node("he said \"hi\"");
+        let dot = graph_to_dot(&b.build(), "q");
+        assert!(dot.contains("\\\"hi\\\""));
+    }
+}

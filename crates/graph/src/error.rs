@@ -1,0 +1,75 @@
+//! Error type shared by the graph substrate.
+
+use crate::NodeId;
+use std::fmt;
+
+/// Errors raised while constructing or converting graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A self-loop `(v, v)` was requested; the paper works with simple
+    /// graphs (Definition 1: arcs contain exactly two nodes).
+    SelfLoop(NodeId),
+    /// A node identifier does not belong to the graph under construction.
+    NodeOutOfRange {
+        /// The offending identifier.
+        node: NodeId,
+        /// Number of nodes currently in the graph.
+        node_count: usize,
+    },
+    /// The graph admits no two-sided partition (an odd cycle exists).
+    NotBipartite {
+        /// A witness node lying on an odd closed walk.
+        witness: NodeId,
+    },
+    /// An edge joins two nodes assigned to the same side of a bipartition.
+    SameSideEdge(NodeId, NodeId),
+    /// A partition map was supplied whose length differs from the node count.
+    PartitionSizeMismatch {
+        /// Number of side assignments supplied.
+        provided: usize,
+        /// Number of nodes in the graph.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::NotBipartite { witness } => {
+                write!(f, "graph is not bipartite (odd cycle through node {witness})")
+            }
+            GraphError::SameSideEdge(a, b) => {
+                write!(f, "edge ({a}, {b}) joins two nodes on the same side")
+            }
+            GraphError::PartitionSizeMismatch { provided, expected } => write!(
+                f,
+                "partition has {provided} entries but the graph has {expected} nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::SelfLoop(NodeId(3));
+        assert!(e.to_string().contains("self-loop"));
+        let e = GraphError::NotBipartite { witness: NodeId(1) };
+        assert!(e.to_string().contains("odd cycle"));
+        let e = GraphError::NodeOutOfRange { node: NodeId(9), node_count: 2 };
+        assert!(e.to_string().contains("out of range"));
+        let e = GraphError::SameSideEdge(NodeId(0), NodeId(1));
+        assert!(e.to_string().contains("same side"));
+        let e = GraphError::PartitionSizeMismatch { provided: 1, expected: 2 };
+        assert!(e.to_string().contains("partition"));
+    }
+}

@@ -1,0 +1,242 @@
+//! The immutable core graph type.
+
+use crate::{GraphBuilder, NodeId};
+
+/// A finite, simple, undirected graph with string-labelled nodes.
+///
+/// `Graph` is immutable: it is produced by [`GraphBuilder::build`], after
+/// which its adjacency lists are sorted and deduplicated. All algorithms in
+/// the workspace that need to "delete" nodes (the elimination procedures of
+/// the paper's Algorithms 1 and 2) do so by masking with a
+/// [`NodeSet`](crate::NodeSet) instead of mutating the graph, so a single
+/// `Graph` value can back many concurrent computations.
+///
+/// Node labels exist purely for presentation (figures, DOT output, query
+/// interfaces); algorithms only ever touch the dense [`NodeId`] indices.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    labels: Vec<String>,
+    /// Sorted, deduplicated adjacency lists.
+    adj: Vec<Vec<NodeId>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(labels: Vec<String>, adj: Vec<Vec<NodeId>>, num_edges: usize) -> Self {
+        debug_assert_eq!(labels.len(), adj.len());
+        Graph { labels, adj, num_edges }
+    }
+
+    /// A graph with no nodes and no edges.
+    pub fn empty() -> Self {
+        Graph { labels: Vec::new(), adj: Vec::new(), num_edges: 0 }
+    }
+
+    /// Starts building a new graph.
+    pub fn builder() -> GraphBuilder {
+        GraphBuilder::new()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected, distinct) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.num_edges
+    }
+
+    /// `true` when the graph has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterates over all node identifiers in increasing order.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone + '_ {
+        (0..self.adj.len()).map(NodeId::from_index)
+    }
+
+    /// The label attached to `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> &str {
+        &self.labels[v.index()]
+    }
+
+    /// Looks up a node by its label (linear scan; labels need not be unique,
+    /// the first match wins). Intended for tests and figure construction.
+    pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
+        self.labels.iter().position(|l| l == label).map(NodeId::from_index)
+    }
+
+    /// The sorted adjacency list of `v` — the set `Adj(v)` of the paper.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.adj[v.index()]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// `true` iff `a` and `b` are adjacent. `O(log deg)`.
+    #[inline]
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.index()].binary_search(&b).is_ok()
+    }
+
+    /// Iterates every undirected edge once, as ordered pairs `(a, b)` with
+    /// `a < b`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.neighbors(a).iter().copied().filter(move |&b| a < b).map(move |b| (a, b))
+        })
+    }
+
+    /// The set `Adj(W)` of the paper: all nodes adjacent to at least one
+    /// node of `w` (note that members of `w` themselves appear only if they
+    /// have a neighbor in `w`).
+    pub fn adjacent_to_set(&self, w: &crate::NodeSet) -> crate::NodeSet {
+        let mut out = crate::NodeSet::new(self.node_count());
+        for v in w.iter() {
+            for &u in self.neighbors(v) {
+                out.insert(u);
+            }
+        }
+        out
+    }
+
+    /// The set `Adj*(v)` used by the paper's Algorithm 1: nodes adjacent to
+    /// `v` **and to no other alive node** (private neighbors of `v` within
+    /// the subgraph induced by `alive`).
+    pub fn private_neighbors(&self, v: NodeId, alive: &crate::NodeSet) -> crate::NodeSet {
+        let mut out = crate::NodeSet::new(self.node_count());
+        'cand: for &u in self.neighbors(v) {
+            if !alive.contains(u) {
+                continue;
+            }
+            for &w in self.neighbors(u) {
+                if w != v && alive.contains(w) {
+                    continue 'cand;
+                }
+            }
+            out.insert(u);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Graph(n={}, m={})", self.node_count(), self.edge_count())?;
+        for v in self.nodes() {
+            writeln!(
+                f,
+                "  {:?} [{}] -> {:?}",
+                v,
+                self.label(v),
+                self.neighbors(v)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeSet;
+
+    fn path3() -> Graph {
+        // a - b - c
+        let mut b = Graph::builder();
+        let a = b.add_node("a");
+        let v = b.add_node("b");
+        let c = b.add_node("c");
+        b.add_edge(a, v).unwrap();
+        b.add_edge(v, c).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path3();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.label(NodeId(0)), "a");
+        assert_eq!(g.node_by_label("c"), Some(NodeId(2)));
+        assert_eq!(g.node_by_label("zzz"), None);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn edges_iterates_each_edge_once() {
+        let g = path3();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
+    }
+
+    #[test]
+    fn adjacent_to_set_matches_definition() {
+        let g = path3();
+        let mut w = NodeSet::new(3);
+        w.insert(NodeId(0));
+        w.insert(NodeId(2));
+        let adj = g.adjacent_to_set(&w);
+        assert!(adj.contains(NodeId(1)));
+        assert!(!adj.contains(NodeId(0)));
+        assert_eq!(adj.len(), 1);
+    }
+
+    #[test]
+    fn private_neighbors_respects_alive_mask() {
+        // star: center 0, leaves 1,2; leaf 2 also adjacent to 3.
+        let mut b = Graph::builder();
+        let c = b.add_node("c");
+        let l1 = b.add_node("l1");
+        let l2 = b.add_node("l2");
+        let x = b.add_node("x");
+        b.add_edge(c, l1).unwrap();
+        b.add_edge(c, l2).unwrap();
+        b.add_edge(l2, x).unwrap();
+        let g = b.build();
+
+        let alive = NodeSet::full(4);
+        let p = g.private_neighbors(c, &alive);
+        assert!(p.contains(l1));
+        assert!(!p.contains(l2)); // l2 also sees x
+
+        // With x dead, l2 becomes private to c.
+        let mut alive2 = NodeSet::full(4);
+        alive2.remove(x);
+        let p2 = g.private_neighbors(c, &alive2);
+        assert!(p2.contains(l1));
+        assert!(p2.contains(l2));
+    }
+
+    #[test]
+    fn debug_output_contains_labels() {
+        let g = path3();
+        let s = format!("{g:?}");
+        assert!(s.contains("n=3"));
+        assert!(s.contains("[b]"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Summary statistics of graphs, for audits and reports.
+
+use crate::{all_pairs_distances, connected_components, Graph, NodeSet, INFINITE_DISTANCE};
+use std::fmt;
+
+/// Structural summary of a graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Number of connected components (isolated nodes count).
+    pub components: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Diameter of the largest component (`None` for the empty graph).
+    pub diameter: Option<usize>,
+    /// Number of isolated nodes.
+    pub isolated: usize,
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges, {} component(s), max degree {}, diameter {}",
+            self.nodes,
+            self.edges,
+            self.components,
+            self.max_degree,
+            self.diameter.map_or("-".to_string(), |d| d.to_string())
+        )?;
+        if self.isolated > 0 {
+            write!(f, ", {} isolated", self.isolated)?;
+        }
+        Ok(())
+    }
+}
+
+/// Computes [`GraphStats`]. All-pairs BFS for the diameter: `O(n·(n+m))`,
+/// reporting territory, not an inner loop.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let comps = connected_components(g, &NodeSet::full(g.node_count()));
+    let dist = all_pairs_distances(g, &NodeSet::full(g.node_count()));
+    let diameter = dist
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|&d| d != INFINITE_DISTANCE)
+        .max()
+        .map(|d| d as usize);
+    GraphStats {
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        components: comps.len(),
+        max_degree: g.nodes().map(|v| g.degree(v)).max().unwrap_or(0),
+        diameter: if g.node_count() == 0 { None } else { diameter },
+        isolated: g.nodes().filter(|&v| g.degree(v) == 0).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn path_stats() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.components, 1);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.diameter, Some(3));
+        assert_eq!(s.isolated, 0);
+        assert!(s.to_string().contains("diameter 3"));
+    }
+
+    #[test]
+    fn disconnected_reports_largest_diameter() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.components, 3);
+        assert_eq!(s.diameter, Some(2));
+        assert_eq!(s.isolated, 1);
+        assert!(s.to_string().contains("1 isolated"));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = graph_from_edges(0, &[]);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.diameter, None);
+        assert!(s.to_string().contains("diameter -"));
+    }
+}

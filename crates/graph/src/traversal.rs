@@ -1,0 +1,88 @@
+//! Breadth-first and depth-first traversals, optionally restricted to an
+//! alive mask.
+
+use crate::{Graph, NodeId, NodeSet};
+use std::collections::VecDeque;
+
+/// Nodes reachable from `start` inside the subgraph induced by `alive`, in
+/// BFS order. `start` must be alive.
+pub fn bfs_order(g: &Graph, alive: &NodeSet, start: NodeId) -> Vec<NodeId> {
+    debug_assert!(alive.contains(start), "BFS start node must be alive");
+    let mut seen = NodeSet::new(g.node_count());
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if alive.contains(u) && seen.insert(u) {
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Nodes reachable from `start` inside the subgraph induced by `alive`, in
+/// (iterative, preorder) DFS order. `start` must be alive.
+pub fn dfs_order(g: &Graph, alive: &NodeSet, start: NodeId) -> Vec<NodeId> {
+    debug_assert!(alive.contains(start), "DFS start node must be alive");
+    let mut seen = NodeSet::new(g.node_count());
+    let mut order = Vec::new();
+    let mut stack = vec![start];
+    seen.insert(start);
+    while let Some(v) = stack.pop() {
+        order.push(v);
+        // Push in reverse so that the smallest neighbor is visited first.
+        for &u in g.neighbors(v).iter().rev() {
+            if alive.contains(u) && seen.insert(u) {
+                stack.push(u);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn ids(xs: &[u32]) -> Vec<NodeId> {
+        xs.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    #[test]
+    fn bfs_visits_by_layers() {
+        // 0-1, 0-2, 1-3, 2-3
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = bfs_order(&g, &NodeSet::full(4), NodeId(0));
+        assert_eq!(order, ids(&[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn dfs_goes_deep_first() {
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (1, 3)]);
+        let order = dfs_order(&g, &NodeSet::full(4), NodeId(0));
+        assert_eq!(order, ids(&[0, 1, 3, 2]));
+    }
+
+    #[test]
+    fn traversal_respects_alive_mask() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut alive = NodeSet::full(4);
+        alive.remove(NodeId(1)); // cut the path
+        let order = bfs_order(&g, &alive, NodeId(0));
+        assert_eq!(order, ids(&[0]));
+        let order = dfs_order(&g, &alive, NodeId(2));
+        assert_eq!(order, ids(&[2, 3]));
+    }
+
+    #[test]
+    fn singleton_graph() {
+        let g = graph_from_edges(1, &[]);
+        assert_eq!(bfs_order(&g, &NodeSet::full(1), NodeId(0)), ids(&[0]));
+        assert_eq!(dfs_order(&g, &NodeSet::full(1), NodeId(0)), ids(&[0]));
+    }
+}

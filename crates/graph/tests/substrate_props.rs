@@ -1,0 +1,207 @@
+//! Property tests for the graph substrate: set-algebra laws, traversal
+//! invariants, spanning trees, and the cycle enumerator's self-
+//! consistency. Everything downstream leans on these primitives.
+
+use mcc_graph::{
+    bfs_distances, bfs_order, biconnected_components, chords_of_cycle, connected_components,
+    dfs_order, enumerate_cycles, induced_subgraph, is_connected_within, shortest_path,
+    spanning_tree, CycleLimits, Graph, GraphBuilder, NodeId, NodeSet, INFINITE_DISTANCE,
+};
+use proptest::prelude::*;
+
+/// A random graph on ≤ 8 nodes with independent edges.
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=8)
+        .prop_flat_map(|n| {
+            proptest::collection::vec(proptest::bool::ANY, n * (n - 1) / 2)
+                .prop_map(move |coins| (n, coins))
+        })
+        .prop_map(|(n, coins)| {
+            let mut b = GraphBuilder::with_nodes(n);
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if coins[k] {
+                        b.add_edge(NodeId::from_index(i), NodeId::from_index(j))
+                            .expect("in range");
+                    }
+                    k += 1;
+                }
+            }
+            b.build()
+        })
+}
+
+/// A random node subset of a graph.
+fn graph_with_set() -> impl Strategy<Value = (Graph, NodeSet)> {
+    small_graph().prop_flat_map(|g| {
+        let n = g.node_count();
+        proptest::collection::vec(proptest::bool::ANY, n).prop_map(move |coins| {
+            let s = NodeSet::from_nodes(
+                n,
+                coins
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c)
+                    .map(|(i, _)| NodeId::from_index(i)),
+            );
+            (g.clone(), s)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// NodeSet algebra: De Morgan-ish laws and length consistency.
+    #[test]
+    fn nodeset_algebra_laws((g, a) in graph_with_set(), coins in proptest::collection::vec(proptest::bool::ANY, 8)) {
+        let n = g.node_count();
+        let b = NodeSet::from_nodes(
+            n,
+            coins.iter().take(n).enumerate().filter(|(_, &c)| c).map(|(i, _)| NodeId::from_index(i)),
+        );
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        prop_assert!(inter.is_subset_of(&a) && inter.is_subset_of(&b));
+        prop_assert!(a.is_subset_of(&union) && b.is_subset_of(&union));
+        let diff = a.difference(&b);
+        prop_assert!(diff.is_disjoint_from(&b));
+        prop_assert_eq!(diff.len() + inter.len(), a.len());
+        // Iteration is sorted and exact.
+        let v = a.to_vec();
+        prop_assert!(v.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(v.len(), a.len());
+    }
+
+    /// BFS and DFS visit exactly the component of the start node.
+    #[test]
+    fn traversals_visit_the_component((g, alive) in graph_with_set()) {
+        let Some(start) = alive.first() else { return Ok(()) };
+        let bfs = bfs_order(&g, &alive, start);
+        let dfs = dfs_order(&g, &alive, start);
+        let mut b = bfs.clone();
+        let mut d = dfs.clone();
+        b.sort_unstable();
+        d.sort_unstable();
+        prop_assert_eq!(b, d, "BFS and DFS must agree on the reachable set");
+        // Every visited node is alive and reachable (finite distance).
+        let dist = bfs_distances(&g, &alive, start);
+        for &v in &bfs {
+            prop_assert!(alive.contains(v));
+            prop_assert!(dist[v.index()] != INFINITE_DISTANCE);
+        }
+    }
+
+    /// Shortest paths realize the BFS distance exactly.
+    #[test]
+    fn shortest_path_matches_distance((g, alive) in graph_with_set()) {
+        let nodes = alive.to_vec();
+        if nodes.len() < 2 { return Ok(()) }
+        let (from, to) = (nodes[0], nodes[nodes.len() - 1]);
+        let dist = bfs_distances(&g, &alive, from);
+        match shortest_path(&g, &alive, from, to) {
+            Some(p) => {
+                prop_assert_eq!((p.len() - 1) as u32, dist[to.index()]);
+                prop_assert_eq!(p.first(), Some(&from));
+                prop_assert_eq!(p.last(), Some(&to));
+                for w in p.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]));
+                    prop_assert!(alive.contains(w[0]) && alive.contains(w[1]));
+                }
+            }
+            None => prop_assert_eq!(dist[to.index()], INFINITE_DISTANCE),
+        }
+    }
+
+    /// Spanning trees exist iff the induced subgraph is connected, and
+    /// have exactly |alive| − 1 edges.
+    #[test]
+    fn spanning_tree_iff_connected((g, alive) in graph_with_set()) {
+        match spanning_tree(&g, &alive) {
+            Some(t) => {
+                prop_assert!(is_connected_within(&g, &alive));
+                prop_assert_eq!(t.len(), alive.len().saturating_sub(1));
+            }
+            None => prop_assert!(!is_connected_within(&g, &alive)),
+        }
+    }
+
+    /// Components partition the alive set and are individually connected.
+    #[test]
+    fn components_partition((g, alive) in graph_with_set()) {
+        let comps = connected_components(&g, &alive);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, alive.len());
+        for c in &comps {
+            prop_assert!(c.is_subset_of(&alive));
+            prop_assert!(is_connected_within(&g, c));
+        }
+        for (i, a) in comps.iter().enumerate() {
+            for b in &comps[i + 1..] {
+                prop_assert!(a.is_disjoint_from(b));
+            }
+        }
+    }
+
+    /// Every enumerated cycle is a genuine simple cycle in canonical
+    /// form, each exactly once, and its chord list checks out.
+    #[test]
+    fn cycles_are_canonical_and_unique(g in small_graph()) {
+        let cycles = enumerate_cycles(&g, CycleLimits::default());
+        let mut seen = std::collections::HashSet::new();
+        for c in &cycles {
+            prop_assert!(c.len() >= 3);
+            // Edges of the cycle exist.
+            for i in 0..c.len() {
+                prop_assert!(g.has_edge(c.0[i], c.0[(i + 1) % c.len()]));
+            }
+            // Canonical: minimum first, orientation fixed.
+            let min = *c.0.iter().min().expect("nonempty");
+            prop_assert_eq!(c.0[0], min);
+            prop_assert!(c.0[1] < c.0[c.len() - 1]);
+            prop_assert!(seen.insert(c.0.clone()), "duplicate cycle {:?}", c.0);
+            // Chords are non-consecutive adjacent pairs.
+            for (i, j) in chords_of_cycle(&g, c) {
+                prop_assert!(g.has_edge(c.0[i], c.0[j]));
+                let consecutive = j == i + 1 || (i == 0 && j == c.len() - 1);
+                prop_assert!(!consecutive);
+            }
+        }
+    }
+
+    /// Biconnected components partition the edge set, and removing an
+    /// articulation point increases the component count.
+    #[test]
+    fn biconnectivity_invariants(g in small_graph()) {
+        let b = biconnected_components(&g);
+        let total: usize = b.components.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.edge_count());
+        let full = NodeSet::full(g.node_count());
+        let base = connected_components(&g, &full).len();
+        for cut in b.articulation_points.iter() {
+            let mut without = full.clone();
+            without.remove(cut);
+            let now = connected_components(&g, &without).len();
+            // Removing the cut node loses one node but splits something:
+            // component count (over remaining nodes) must strictly exceed
+            // base minus the vanished singleton case.
+            prop_assert!(now > base - 1, "cut {cut:?} did not separate");
+        }
+    }
+
+    /// Induced subgraphs keep exactly the internal edges.
+    #[test]
+    fn induced_subgraph_edges((g, keep) in graph_with_set()) {
+        let sub = induced_subgraph(&g, &keep);
+        let expected = g
+            .edges()
+            .filter(|&(a, b)| keep.contains(a) && keep.contains(b))
+            .count();
+        prop_assert_eq!(sub.graph.edge_count(), expected);
+        for v in sub.graph.nodes() {
+            prop_assert_eq!(sub.graph.label(v), g.label(sub.parent_of(v)));
+        }
+    }
+}

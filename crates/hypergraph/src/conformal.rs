@@ -1,0 +1,213 @@
+//! Conformality (Definition 7).
+//!
+//! A hypergraph is *conformal* when every clique of its primal graph
+//! `G(H)` is contained in some edge. Definition 7 uses this to define
+//! α-acyclicity: `H` is α-acyclic iff `G(H)` is chordal and `H` is
+//! conformal.
+//!
+//! The production test is **Gilmore's criterion**: `H` is conformal iff
+//! for every three edges `e1, e2, e3` there exists an edge containing
+//! `(e1∩e2) ∪ (e2∩e3) ∪ (e1∩e3)`. This is `O(|E|³)` set operations. A
+//! brute-force maximal-clique check (Bron–Kerbosch on `G(H)`) is also
+//! provided as ground truth for tests.
+
+use crate::{primal_graph, Hypergraph};
+use mcc_graph::{Graph, NodeId, NodeSet};
+
+/// Gilmore's polynomial conformality test.
+pub fn is_conformal(h: &Hypergraph) -> bool {
+    find_conformality_violation(h).is_none()
+}
+
+/// The witness version of Gilmore's test: a set of nodes that pairwise
+/// co-occur in edges (a clique of `G(H)`) yet is contained in no single
+/// edge — `None` when `H` is conformal.
+pub fn find_conformality_violation(h: &Hypergraph) -> Option<NodeSet> {
+    let m = h.edge_count();
+    // Triples with repeats reduce to pair/single cases that hold trivially
+    // (each edge contains itself), so distinct unordered triples suffice —
+    // but pairs still matter when two edges overlap: take e3 = e1; the
+    // union becomes (e1∩e2) ∪ e1-parts ⊆ e1, trivially contained. Hence
+    // only distinct triples are checked.
+    for i in 0..m {
+        let ei = h.edge(crate::EdgeId::from_index(i));
+        for j in (i + 1)..m {
+            let ej = h.edge(crate::EdgeId::from_index(j));
+            let ij = ei.intersection(ej);
+            for k in (j + 1)..m {
+                let ek = h.edge(crate::EdgeId::from_index(k));
+                let mut need = ij.clone();
+                need.union_with(&ei.intersection(ek));
+                need.union_with(&ej.intersection(ek));
+                if need.len() <= 1 {
+                    continue; // singletons/empties lie in some edge or none needed
+                }
+                let covered = h
+                    .edge_ids()
+                    .any(|e| need.is_subset_of(h.edge(e)));
+                if !covered {
+                    return Some(need);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Ground-truth conformality: enumerate the maximal cliques of the primal
+/// graph with Bron–Kerbosch and check each is contained in an edge.
+/// Exponential in the worst case; intended for tests and small instances.
+pub fn is_conformal_bruteforce(h: &Hypergraph) -> bool {
+    let g = primal_graph(h);
+    let cliques = maximal_cliques(&g);
+    cliques.iter().all(|c| {
+        // Cliques of size ≤ 1 are vacuously covered only if the node lies
+        // in some edge; isolated nodes have the empty clique {v} which no
+        // edge need contain — Definition 7 quantifies over cliques of
+        // G(H), and an isolated node forms a 1-clique contained in an edge
+        // iff the node is non-isolated. We follow the convention that
+        // 1-cliques of isolated nodes are ignored (they carry no
+        // co-occurrence constraint), matching Gilmore's criterion.
+        if c.len() == 1 {
+            return true;
+        }
+        h.edge_ids().any(|e| c.is_subset_of(h.edge(e)))
+    })
+}
+
+/// All maximal cliques of `g`, via Bron–Kerbosch with greedy pivoting.
+pub fn maximal_cliques(g: &Graph) -> Vec<NodeSet> {
+    let n = g.node_count();
+    let mut out = Vec::new();
+    let mut r = NodeSet::new(n);
+    let p = NodeSet::full(n);
+    let x = NodeSet::new(n);
+    let nbr: Vec<NodeSet> = g
+        .nodes()
+        .map(|v| NodeSet::from_nodes(n, g.neighbors(v).iter().copied()))
+        .collect();
+    bron_kerbosch(&nbr, &mut r, p, x, &mut out);
+    out
+}
+
+fn bron_kerbosch(
+    nbr: &[NodeSet],
+    r: &mut NodeSet,
+    p: NodeSet,
+    x: NodeSet,
+    out: &mut Vec<NodeSet>,
+) {
+    if p.is_empty() && x.is_empty() {
+        out.push(r.clone());
+        return;
+    }
+    // Pivot: the vertex of P ∪ X with most neighbors in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .max_by_key(|&u| nbr[u.index()].intersection(&p).len())
+        .expect("P ∪ X nonempty");
+    let candidates: Vec<NodeId> = p.difference(&nbr[pivot.index()]).to_vec();
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        r.insert(v);
+        let p2 = p.intersection(&nbr[v.index()]);
+        let x2 = x.intersection(&nbr[v.index()]);
+        bron_kerbosch(nbr, r, p2, x2, out);
+        r.remove(v);
+        p.remove(v);
+        x.insert(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::hypergraph_from_lists;
+    use mcc_graph::builder::graph_from_edges;
+
+    #[test]
+    fn maximal_cliques_of_k3_plus_pendant() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let mut cs = maximal_cliques(&g);
+        cs.sort_by_key(|c| c.to_vec());
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].to_vec(), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(cs[1].to_vec(), vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn triangle_of_pairs_is_not_conformal() {
+        // Primal graph is a triangle but no edge holds all three nodes.
+        let h = hypergraph_from_lists(
+            &["a", "b", "c"],
+            &[("x", &[0, 1]), ("y", &[1, 2]), ("z", &[0, 2])],
+        );
+        assert!(!is_conformal(&h));
+        assert!(!is_conformal_bruteforce(&h));
+    }
+
+    #[test]
+    fn covered_triangle_is_conformal() {
+        let h = hypergraph_from_lists(
+            &["a", "b", "c"],
+            &[("x", &[0, 1]), ("y", &[1, 2]), ("z", &[0, 2]), ("w", &[0, 1, 2])],
+        );
+        assert!(is_conformal(&h));
+        assert!(is_conformal_bruteforce(&h));
+    }
+
+    #[test]
+    fn chain_is_conformal() {
+        let h = hypergraph_from_lists(
+            &["a", "b", "c", "d"],
+            &[("x", &[0, 1]), ("y", &[1, 2]), ("z", &[2, 3])],
+        );
+        assert!(is_conformal(&h));
+        assert!(is_conformal_bruteforce(&h));
+    }
+
+    #[test]
+    fn single_edge_and_empty_are_conformal() {
+        let h = hypergraph_from_lists(&["a", "b"], &[("e", &[0, 1])]);
+        assert!(is_conformal(&h));
+        assert!(is_conformal_bruteforce(&h));
+        let h = hypergraph_from_lists(&["a"], &[]);
+        assert!(is_conformal(&h));
+        assert!(is_conformal_bruteforce(&h));
+    }
+
+    #[test]
+    fn four_edge_nonconformal_case() {
+        // K4 as primal from the six pair-edges; the 4-clique is uncovered.
+        let h = hypergraph_from_lists(
+            &["a", "b", "c", "d"],
+            &[
+                ("ab", &[0, 1]),
+                ("ac", &[0, 2]),
+                ("ad", &[0, 3]),
+                ("bc", &[1, 2]),
+                ("bd", &[1, 3]),
+                ("cd", &[2, 3]),
+            ],
+        );
+        assert!(!is_conformal(&h));
+        assert!(!is_conformal_bruteforce(&h));
+        // Covering with the full edge fixes it.
+        let h2 = hypergraph_from_lists(
+            &["a", "b", "c", "d"],
+            &[
+                ("ab", &[0, 1]),
+                ("ac", &[0, 2]),
+                ("ad", &[0, 3]),
+                ("bc", &[1, 2]),
+                ("bd", &[1, 3]),
+                ("cd", &[2, 3]),
+                ("all", &[0, 1, 2, 3]),
+            ],
+        );
+        assert!(is_conformal(&h2));
+        assert!(is_conformal_bruteforce(&h2));
+    }
+}

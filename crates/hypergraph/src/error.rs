@@ -1,0 +1,61 @@
+//! Error type for hypergraph construction and conversions.
+
+use mcc_graph::NodeId;
+use std::fmt;
+
+/// Errors raised by hypergraph construction and conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HypergraphError {
+    /// An edge with no members was requested (Definition 1 forbids them).
+    EmptyEdge,
+    /// An edge member is outside the node universe.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Universe size.
+        node_count: usize,
+    },
+    /// The dual is undefined because a node belongs to no edge (its dual
+    /// edge would be empty).
+    IsolatedNode(NodeId),
+    /// A bipartite-to-hypergraph conversion found a `V2` node with no `V1`
+    /// neighbors, which would produce an empty hyperedge.
+    IsolatedEdgeSideNode(NodeId),
+}
+
+impl fmt::Display for HypergraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HypergraphError::EmptyEdge => write!(f, "hyperedges must be nonempty"),
+            HypergraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (universe has {node_count} nodes)")
+            }
+            HypergraphError::IsolatedNode(v) => {
+                write!(f, "dual undefined: node {v} belongs to no edge")
+            }
+            HypergraphError::IsolatedEdgeSideNode(v) => write!(
+                f,
+                "conversion undefined: edge-side node {v} has no neighbors (empty hyperedge)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HypergraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(HypergraphError::EmptyEdge.to_string().contains("nonempty"));
+        assert!(HypergraphError::IsolatedNode(NodeId(2)).to_string().contains("dual"));
+        assert!(HypergraphError::IsolatedEdgeSideNode(NodeId(2))
+            .to_string()
+            .contains("no neighbors"));
+        assert!(HypergraphError::NodeOutOfRange { node: NodeId(9), node_count: 1 }
+            .to_string()
+            .contains("out of range"));
+    }
+}

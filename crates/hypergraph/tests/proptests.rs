@@ -1,0 +1,146 @@
+//! Property-based cross-validation of the acyclicity recognizers against
+//! the definitional (Definition 6) cycle finders and against each other.
+
+use mcc_hypergraph::{
+    dual::{dual, index_identical},
+    find_beta_cycle, find_gamma_cycle, gyo_reduce, incidence_bipartite, is_alpha_acyclic,
+    is_berge_acyclic, is_beta_acyclic, is_conformal, is_conformal_bruteforce, is_gamma_acyclic,
+    join_tree::{ear_ordering, mcs_edge_ordering, verify_rip},
+    running_intersection_ordering, AcyclicityDegree, Hypergraph, HypergraphBuilder,
+};
+use proptest::prelude::*;
+
+/// A random hypergraph on ≤ 7 nodes with ≤ 6 edges, drawn from nonempty
+/// node subsets encoded as bitmasks.
+fn small_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (2usize..=7).prop_flat_map(|n| {
+        let edge = 1u32..(1 << n);
+        proptest::collection::vec(edge, 1..=6).prop_map(move |masks| {
+            let mut b = HypergraphBuilder::new();
+            let nodes: Vec<_> = (0..n).map(|i| b.add_node(format!("n{i}"))).collect();
+            for (i, mask) in masks.iter().enumerate() {
+                let members = nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(j, _)| mask & (1 << *j) != 0)
+                    .map(|(_, &v)| v);
+                b.add_edge(format!("e{i}"), members).expect("mask nonzero");
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// GYO and the MCS/RIP test are two independent α-acyclicity
+    /// recognizers; they must agree everywhere.
+    #[test]
+    fn alpha_recognizers_agree(h in small_hypergraph()) {
+        prop_assert_eq!(gyo_reduce(&h).acyclic, is_alpha_acyclic(&h));
+    }
+
+    /// The ear-decomposition construction agrees with MCS+verify, and per
+    /// the Tarjan–Yannakakis theorem the MCS ordering itself already
+    /// satisfies RIP whenever the hypergraph is α-acyclic.
+    #[test]
+    fn mcs_ordering_satisfies_rip_on_acyclic(h in small_hypergraph()) {
+        let ears = ear_ordering(&h).is_some();
+        let mcs_ok = verify_rip(&h, &mcs_edge_ordering(&h)).is_some();
+        prop_assert_eq!(ears, mcs_ok, "TY theorem violated: MCS and ears disagree");
+    }
+
+    /// β-acyclicity via nest points ⟺ no definitional β-cycle.
+    #[test]
+    fn beta_recognizer_matches_definition(h in small_hypergraph()) {
+        prop_assert_eq!(is_beta_acyclic(&h), find_beta_cycle(&h).is_none());
+    }
+
+    /// γ-acyclicity recognizer ⟺ no definitional γ-cycle.
+    #[test]
+    fn gamma_recognizer_matches_definition(h in small_hypergraph()) {
+        prop_assert_eq!(is_gamma_acyclic(&h), find_gamma_cycle(&h).is_none());
+    }
+
+    /// The hierarchy is nested: Berge ⟹ γ ⟹ β ⟹ α.
+    #[test]
+    fn hierarchy_is_nested(h in small_hypergraph()) {
+        if is_berge_acyclic(&h) {
+            prop_assert!(is_gamma_acyclic(&h));
+        }
+        if is_gamma_acyclic(&h) {
+            prop_assert!(is_beta_acyclic(&h));
+        }
+        if is_beta_acyclic(&h) {
+            prop_assert!(is_alpha_acyclic(&h));
+        }
+    }
+
+    /// Corollary 1: Berge-, γ-, and β-acyclicity are self-dual.
+    #[test]
+    fn corollary1_duality(h in small_hypergraph()) {
+        if let Ok(d) = dual(&h) {
+            prop_assert_eq!(is_berge_acyclic(&h), is_berge_acyclic(&d));
+            prop_assert_eq!(is_gamma_acyclic(&h), is_gamma_acyclic(&d));
+            prop_assert_eq!(is_beta_acyclic(&h), is_beta_acyclic(&d));
+            // Double dual is the identity.
+            let dd = dual(&d).expect("dual has no isolated nodes");
+            prop_assert!(index_identical(&h, &dd));
+        }
+    }
+
+    /// Gilmore's conformality criterion matches the clique-based one.
+    #[test]
+    fn conformality_tests_agree(h in small_hypergraph()) {
+        prop_assert_eq!(is_conformal(&h), is_conformal_bruteforce(&h));
+    }
+
+    /// Incidence graph roundtrip preserves the hypergraph.
+    #[test]
+    fn incidence_roundtrip(h in small_hypergraph()) {
+        let g = incidence_bipartite(&h);
+        let (h2, _, _) = mcc_hypergraph::h1_of_bipartite(&g).expect("no empty edges");
+        // Node universes can differ if h has isolated nodes: incidence
+        // keeps them on side V1, so counts match.
+        prop_assert!(index_identical(&h, &h2));
+    }
+
+    /// The strongest-degree classification is consistent with the
+    /// individual predicates.
+    #[test]
+    fn classification_consistent(h in small_hypergraph()) {
+        let d = AcyclicityDegree::of(&h);
+        prop_assert_eq!(d >= AcyclicityDegree::Alpha, is_alpha_acyclic(&h));
+        prop_assert_eq!(d >= AcyclicityDegree::Beta, is_beta_acyclic(&h));
+        prop_assert_eq!(d >= AcyclicityDegree::Gamma, is_gamma_acyclic(&h));
+        prop_assert_eq!(d >= AcyclicityDegree::Berge, is_berge_acyclic(&h));
+    }
+
+    /// The dual running-intersection node ordering (the displayed
+    /// property after Corollary 1) exists for every β-acyclic hypergraph
+    /// and validates literally; and it exists exactly when the dual is
+    /// α-acyclic.
+    #[test]
+    fn dual_node_ordering_property(h in small_hypergraph()) {
+        match mcc_hypergraph::dual_node_ordering(&h) {
+            Err(_) => {} // isolated nodes: dual undefined
+            Ok(None) => {
+                let d = dual(&h).expect("no isolated nodes on this branch");
+                prop_assert!(!is_alpha_acyclic(&d));
+                prop_assert!(!is_beta_acyclic(&h), "beta-acyclic must admit the ordering");
+            }
+            Ok(Some((order, wit))) => {
+                prop_assert!(mcc_hypergraph::check_dual_node_ordering(&h, &order, &wit));
+            }
+        }
+    }
+
+    /// A RIP ordering, when it exists, is a valid join tree.
+    #[test]
+    fn rip_ordering_is_valid_join_tree(h in small_hypergraph()) {
+        if let Some(jt) = running_intersection_ordering(&h) {
+            prop_assert!(jt.is_valid(&h));
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Exact Cover by 3-Sets (X3C), the source problem of Theorem 2.
+
+/// An X3C instance: a universe `X = {0, …, 3q−1}` and a collection of
+/// 3-element subsets. The question: is there a subcollection covering
+/// every element exactly once?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct X3cInstance {
+    /// `q`: the universe has `3q` elements and an exact cover has `q`
+    /// triples.
+    pub q: usize,
+    /// The collection `C` of 3-element subsets (each sorted,
+    /// duplicates allowed as in the general problem statement).
+    pub triples: Vec<[usize; 3]>,
+}
+
+impl X3cInstance {
+    /// Builds an instance, normalizing each triple to sorted order.
+    ///
+    /// # Panics
+    /// Panics if a triple repeats an element or indexes outside the
+    /// universe.
+    pub fn new(q: usize, triples: impl IntoIterator<Item = [usize; 3]>) -> Self {
+        let triples: Vec<[usize; 3]> = triples
+            .into_iter()
+            .map(|mut t| {
+                t.sort_unstable();
+                assert!(t[0] < t[1] && t[1] < t[2], "triples must have 3 distinct elements");
+                assert!(t[2] < 3 * q, "element out of universe");
+                t
+            })
+            .collect();
+        X3cInstance { q, triples }
+    }
+
+    /// Universe size `3q`.
+    pub fn universe(&self) -> usize {
+        3 * self.q
+    }
+
+    /// `true` iff `selection` (triple indices) is an exact cover.
+    pub fn is_exact_cover(&self, selection: &[usize]) -> bool {
+        if selection.len() != self.q {
+            return false;
+        }
+        let mut seen = vec![false; self.universe()];
+        for &i in selection {
+            let Some(t) = self.triples.get(i) else { return false };
+            for &x in t {
+                if seen[x] {
+                    return false;
+                }
+                seen[x] = true;
+            }
+        }
+        seen.into_iter().all(|b| b)
+    }
+
+    /// Exhaustive solver: the first exact cover in lexicographic order of
+    /// triple indices, or `None`. Branches on the smallest uncovered
+    /// element, so the search tree is narrow for reasonable instances.
+    pub fn solve_bruteforce(&self) -> Option<Vec<usize>> {
+        // Index triples by their minimum element for fast branching.
+        let n = self.universe();
+        let mut by_elem: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, t) in self.triples.iter().enumerate() {
+            for &x in t {
+                by_elem[x].push(i);
+            }
+        }
+        let mut covered = vec![false; n];
+        let mut chosen = Vec::new();
+        if self.search(&by_elem, &mut covered, &mut chosen) {
+            chosen.sort_unstable();
+            Some(chosen)
+        } else {
+            None
+        }
+    }
+
+    fn search(
+        &self,
+        by_elem: &[Vec<usize>],
+        covered: &mut [bool],
+        chosen: &mut Vec<usize>,
+    ) -> bool {
+        let Some(first) = covered.iter().position(|&c| !c) else {
+            return true; // everything covered — exactly, since triples never overlap
+        };
+        for &i in &by_elem[first] {
+            let t = &self.triples[i];
+            if t.iter().any(|&x| covered[x]) {
+                continue;
+            }
+            for &x in t {
+                covered[x] = true;
+            }
+            chosen.push(i);
+            if self.search(by_elem, covered, chosen) {
+                return true;
+            }
+            chosen.pop();
+            for &x in t {
+                covered[x] = false;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 6 instance: X = {x1..x6}, C = {c1, c2, c3},
+    /// c1 = {x1,x2,x3}, c2 = {x3,x4,x5}, c3 = {x4,x5,x6}.
+    pub fn fig6_instance() -> X3cInstance {
+        X3cInstance::new(2, [[0, 1, 2], [2, 3, 4], [3, 4, 5]])
+    }
+
+    #[test]
+    fn fig6_has_the_expected_cover() {
+        let inst = fig6_instance();
+        let sol = inst.solve_bruteforce().expect("c1 ∪ c3 covers X");
+        assert_eq!(sol, vec![0, 2]);
+        assert!(inst.is_exact_cover(&sol));
+        // c1 ∪ c2 overlaps at x3.
+        assert!(!inst.is_exact_cover(&[0, 1]));
+    }
+
+    #[test]
+    fn unsolvable_instance() {
+        // Two triples sharing an element cannot exactly cover 6 elements.
+        let inst = X3cInstance::new(2, [[0, 1, 2], [2, 3, 4]]);
+        assert!(inst.solve_bruteforce().is_none());
+    }
+
+    #[test]
+    fn trivial_instances() {
+        let inst = X3cInstance::new(1, [[0, 1, 2]]);
+        assert_eq!(inst.solve_bruteforce(), Some(vec![0]));
+        let inst = X3cInstance::new(1, Vec::<[usize; 3]>::new());
+        assert!(inst.solve_bruteforce().is_none());
+        // q = 0: vacuously solvable with the empty selection.
+        let inst = X3cInstance::new(0, Vec::<[usize; 3]>::new());
+        assert_eq!(inst.solve_bruteforce(), Some(vec![]));
+    }
+
+    #[test]
+    fn cover_verification_rejects_bad_selections() {
+        let inst = fig6_instance();
+        assert!(!inst.is_exact_cover(&[0]));
+        assert!(!inst.is_exact_cover(&[0, 0]));
+        assert!(!inst.is_exact_cover(&[0, 7]));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn degenerate_triple_rejected() {
+        let _ = X3cInstance::new(1, [[0, 0, 1]]);
+    }
+
+    #[test]
+    fn larger_instance_with_planted_cover() {
+        // Universe of 12, planted partition plus noise triples.
+        let inst = X3cInstance::new(
+            4,
+            [
+                [0, 1, 2],
+                [3, 4, 5],
+                [6, 7, 8],
+                [9, 10, 11],
+                [0, 3, 6],
+                [1, 4, 7],
+                [2, 5, 9],
+            ],
+        );
+        let sol = inst.solve_bruteforce().expect("planted cover");
+        assert!(inst.is_exact_cover(&sol));
+    }
+}

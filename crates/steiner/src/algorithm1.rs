@@ -1,0 +1,344 @@
+//! The paper's **Algorithm 1** (Theorem 3): pseudo-Steiner trees w.r.t.
+//! `V₂` on V₂-chordal, V₂-conformal bipartite graphs, in `O(|V|·|A|)`
+//! (Theorem 4).
+//!
+//! ```text
+//! Step 1. order the V₂ nodes as W = ⟨v₁², …, v_q²⟩ per Lemma 1;
+//! Step 2. G₀ := C (the component containing P̄);
+//!         for i := 1 to q do
+//!           if G_{i-1} − ({v_i²} ∪ Adj*(v_i²)) is a cover of P̄
+//!           then G_i := G_{i-1} − ({v_i²} ∪ Adj*(v_i²))
+//!           else G_i := G_{i-1};
+//! Step 3. return a spanning tree of G_q.
+//! ```
+//!
+//! `Adj*(v)` is the set of nodes adjacent **only** to `v` among the
+//! still-alive nodes. The Lemma 1 ordering is obtained exactly as the
+//! proof of Theorem 4 prescribes: run the Tarjan–Yannakakis maximum
+//! cardinality search on the edges of `H¹_G` (each edge is a `V₂` node)
+//! and reverse the resulting running-intersection ordering.
+
+use crate::{SteinerTree};
+use mcc_chordality::chordal_bipartite::drop_isolated_v2;
+use mcc_graph::{terminals_connected, BipartiteGraph, NodeId, NodeSet, Side};
+use mcc_hypergraph::{h1_of_bipartite, running_intersection_ordering};
+use std::fmt;
+
+/// Failure modes of Algorithm 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Algorithm1Error {
+    /// The terminals do not lie in one connected component.
+    Infeasible,
+    /// `H¹_G` is not α-acyclic, i.e. the graph is not V₂-chordal and
+    /// V₂-conformal — no Lemma 1 ordering exists and the algorithm's
+    /// optimality guarantee is void.
+    NotAlphaAcyclic,
+}
+
+impl fmt::Display for Algorithm1Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Algorithm1Error::Infeasible => {
+                write!(f, "terminals are not connected in the graph")
+            }
+            Algorithm1Error::NotAlphaAcyclic => write!(
+                f,
+                "graph is not V2-chordal/V2-conformal (H1 not alpha-acyclic); no Lemma 1 ordering"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Algorithm1Error {}
+
+/// Output of Algorithm 1: the pseudo-Steiner tree plus the elimination
+/// ordering used (a replayable certificate).
+#[derive(Debug, Clone)]
+pub struct Algorithm1Output {
+    /// A tree over the terminals with the minimum number of `V₂` nodes.
+    pub tree: SteinerTree,
+    /// Number of `V₂` nodes in the tree — the minimized quantity.
+    pub v2_cost: usize,
+    /// The Lemma 1 ordering of `V₂` nodes that was eliminated along.
+    pub ordering: Vec<NodeId>,
+}
+
+/// Runs Algorithm 1 on `bg` with terminal set `terminals` (graph ids).
+///
+/// Requirements (checked): terminals in one component; `H¹_G` α-acyclic.
+/// The Theorem 3 guarantee is that the returned tree is `V₂`-minimum
+/// among all trees over the terminals.
+pub fn algorithm1(
+    bg: &BipartiteGraph,
+    terminals: &NodeSet,
+) -> Result<Algorithm1Output, Algorithm1Error> {
+    let g = bg.graph();
+    let n = g.node_count();
+    assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
+
+    if terminals.is_empty() {
+        return Ok(Algorithm1Output {
+            tree: SteinerTree { nodes: NodeSet::new(n), edges: vec![] },
+            v2_cost: 0,
+            ordering: vec![],
+        });
+    }
+    if terminals.len() == 1 {
+        // Degenerate case the elimination cannot reach: the last relation
+        // adjacent to the lone terminal can never be dropped (the terminal
+        // would go with it as a private neighbor), yet the singleton tree
+        // is plainly V2-minimum. Return it directly.
+        let t = terminals.first().expect("nonempty");
+        let v2_cost = usize::from(bg.side(t) == Side::V2);
+        return Ok(Algorithm1Output {
+            tree: SteinerTree { nodes: terminals.clone(), edges: vec![] },
+            v2_cost,
+            ordering: vec![],
+        });
+    }
+
+    // Restrict to the component containing the terminals.
+    let full = NodeSet::full(n);
+    let comp = mcc_graph::connectivity::component_of(
+        g,
+        &full,
+        terminals.first().expect("nonempty"),
+    );
+    if !terminals.is_subset_of(&comp) {
+        return Err(Algorithm1Error::Infeasible);
+    }
+
+    // Step 1: Lemma 1 ordering. Build H¹ of the graph (isolated V2 nodes
+    // are never on connections, drop them), get a running-intersection
+    // ordering of its edges, reverse it, and map back to V₂ node ids.
+    let cleaned = drop_isolated_v2(bg);
+    let (h1, _node_map, edge_map) =
+        h1_of_bipartite(&cleaned).expect("isolated V2 nodes dropped");
+    let Some(jt) = running_intersection_ordering(&h1) else {
+        return Err(Algorithm1Error::NotAlphaAcyclic);
+    };
+    // edge ids of H¹ → V2 node ids in `cleaned` → ids in `bg`. The
+    // cleaned graph preserves labels and relative order, so rebuild the
+    // id translation positionally.
+    let cleaned_to_orig = cleaned_id_map(bg, &cleaned);
+    let mut ordering: Vec<NodeId> = jt
+        .order
+        .iter()
+        .map(|e| cleaned_to_orig[edge_map[e.index()].index()])
+        .collect();
+    ordering.reverse();
+
+    // Step 2: elimination within the component.
+    let mut alive = comp.clone();
+    for &v2 in &ordering {
+        if !alive.contains(v2) {
+            continue; // outside the component (or already private-removed)
+        }
+        let mut candidate = alive.clone();
+        candidate.remove(v2);
+        let private = g.private_neighbors(v2, &alive);
+        candidate.difference_with(&private);
+        // Elimination test: the terminals must stay mutually connected
+        // (see the interpretation note in `algorithm2`'s module docs —
+        // the same relaxation applies here).
+        if terminals_connected(g, &candidate, terminals) {
+            alive = candidate;
+        }
+    }
+    // Defensive trim: drop anything not in the terminals' component
+    // (cannot occur when every V2 node is processed, but cheap to
+    // guarantee).
+    let alive = mcc_graph::connectivity::component_of(
+        g,
+        &alive,
+        terminals.first().expect("nonempty"),
+    );
+
+    // Step 3: spanning tree.
+    let tree = SteinerTree::from_cover(g, &alive).expect("elimination preserves coverage");
+    let v2_cost = alive.intersection(&bg.v2_set()).len();
+    Ok(Algorithm1Output { tree, v2_cost, ordering })
+}
+
+/// Verifies the two Lemma 1 properties of a `V₂` ordering
+/// `W = ⟨v₁², …, v_q²⟩` on a **connected** bipartite graph, literally:
+///
+/// 1. for every `i`, the subgraph induced by `V_i^W ∪ Adj(V_i^W)`
+///    (the ordering's suffix plus its neighborhood) is connected;
+/// 2. for every `i < q` there is a later `v_{j}²` with
+///    `Adj(v_i²) ∩ Adj(V_{i+1}^W) ⊆ Adj(v_j²)`.
+///
+/// Algorithm 1's reversed running-intersection ordering satisfies both —
+/// property tests assert it — and Theorem 3's optimality proof consumes
+/// exactly these two facts.
+pub fn verify_lemma1_ordering(bg: &BipartiteGraph, ordering: &[NodeId]) -> bool {
+    let g = bg.graph();
+    let n = g.node_count();
+    // The ordering must enumerate exactly the non-isolated V2 nodes.
+    let expected: Vec<NodeId> = bg
+        .side_nodes(Side::V2)
+        .filter(|&v| g.degree(v) > 0)
+        .collect();
+    {
+        let mut a = ordering.to_vec();
+        a.sort_unstable();
+        let mut b = expected.clone();
+        b.sort_unstable();
+        if a != b {
+            return false;
+        }
+    }
+    let q = ordering.len();
+    for i in 0..q {
+        // Suffix V_i^W and its closed neighborhood.
+        let suffix = NodeSet::from_nodes(n, ordering[i..].iter().copied());
+        let mut closed = suffix.clone();
+        closed.union_with(&g.adjacent_to_set(&suffix));
+        if !mcc_graph::is_connected_within(g, &closed) {
+            return false;
+        }
+        // Property (2): Adj(v_i) ∩ Adj(suffix after i) ⊆ Adj(v_j), j > i.
+        if i + 1 < q {
+            let tail = NodeSet::from_nodes(n, ordering[i + 1..].iter().copied());
+            let shared = NodeSet::from_nodes(
+                n,
+                g.neighbors(ordering[i]).iter().copied(),
+            )
+            .intersection(&g.adjacent_to_set(&tail));
+            if shared.is_empty() {
+                continue;
+            }
+            let witnessed = ordering[i + 1..].iter().any(|&vj| {
+                let adj_j =
+                    NodeSet::from_nodes(n, g.neighbors(vj).iter().copied());
+                shared.is_subset_of(&adj_j)
+            });
+            if !witnessed {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Maps node ids of `drop_isolated_v2(bg)` back to ids of `bg`
+/// (positional: the cleaned graph keeps all non-dropped nodes in order).
+fn cleaned_id_map(bg: &BipartiteGraph, cleaned: &BipartiteGraph) -> Vec<NodeId> {
+    let g = bg.graph();
+    let kept: Vec<NodeId> = g
+        .nodes()
+        .filter(|&v| bg.side(v) == Side::V1 || g.degree(v) > 0)
+        .collect();
+    debug_assert_eq!(kept.len(), cleaned.graph().node_count());
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::side_minimum_cover_bruteforce;
+    use mcc_graph::bipartite::bipartite_from_lists;
+
+    /// A small α-acyclic schema: relations r1={a,b}, r2={b,c}, r3={b,c,d}.
+    fn acyclic_schema() -> BipartiteGraph {
+        bipartite_from_lists(
+            &["a", "b", "c", "d"],
+            &["r1", "r2", "r3"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1), (1, 2), (2, 2), (3, 2)],
+        )
+    }
+
+    fn ids(bg: &BipartiteGraph, labels: &[&str]) -> NodeSet {
+        NodeSet::from_nodes(
+            bg.graph().node_count(),
+            labels.iter().map(|l| bg.graph().node_by_label(l).expect("label exists")),
+        )
+    }
+
+    #[test]
+    fn connects_attributes_with_minimum_relations() {
+        let bg = acyclic_schema();
+        let terminals = ids(&bg, &["a", "d"]);
+        let out = algorithm1(&bg, &terminals).unwrap();
+        assert!(out.tree.is_valid_tree(bg.graph()));
+        assert!(terminals.is_subset_of(&out.tree.nodes));
+        // Optimal: a-r1-b-r3-d uses two relations.
+        assert_eq!(out.v2_cost, 2);
+        let bf = side_minimum_cover_bruteforce(bg.graph(), &terminals, &bg.v2_set()).unwrap();
+        assert_eq!(bf.intersection(&bg.v2_set()).len(), out.v2_cost);
+    }
+
+    #[test]
+    fn single_terminal_and_empty() {
+        let bg = acyclic_schema();
+        let out = algorithm1(&bg, &ids(&bg, &["b"])).unwrap();
+        assert_eq!(out.tree.node_cost(), 1);
+        assert_eq!(out.v2_cost, 0);
+        let out = algorithm1(&bg, &NodeSet::new(bg.graph().node_count())).unwrap();
+        assert_eq!(out.tree.node_cost(), 0);
+    }
+
+    #[test]
+    fn terminal_can_be_a_relation_node() {
+        let bg = acyclic_schema();
+        let terminals = ids(&bg, &["r1", "d"]);
+        let out = algorithm1(&bg, &terminals).unwrap();
+        assert!(terminals.is_subset_of(&out.tree.nodes));
+        let bf = side_minimum_cover_bruteforce(bg.graph(), &terminals, &bg.v2_set()).unwrap();
+        assert_eq!(bf.intersection(&bg.v2_set()).len(), out.v2_cost);
+    }
+
+    #[test]
+    fn produced_ordering_satisfies_lemma1() {
+        let bg = acyclic_schema();
+        let terminals = ids(&bg, &["a", "d"]);
+        let out = algorithm1(&bg, &terminals).unwrap();
+        assert!(verify_lemma1_ordering(&bg, &out.ordering));
+        // A wrong ordering (reversed) is usually rejected by property (2)
+        // or (1); at minimum, permutations that break suffix-connectivity
+        // must fail. Here the reversed RIP order (i.e. the prefix order)
+        // breaks property (1) for this schema's shape or passes — so use
+        // a definitely-broken input: wrong node multiset.
+        assert!(!verify_lemma1_ordering(&bg, &out.ordering[1..]));
+        let v1_node = bg.graph().node_by_label("a").unwrap();
+        let mut bogus = out.ordering.clone();
+        bogus[0] = v1_node;
+        assert!(!verify_lemma1_ordering(&bg, &bogus));
+    }
+
+    #[test]
+    fn rejects_non_alpha_acyclic_graphs() {
+        // The 6-cycle: H¹ is the triangle hypergraph, not α-acyclic.
+        let bg = bipartite_from_lists(
+            &["x1", "x2", "x3"],
+            &["y1", "y2", "y3"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)],
+        );
+        let terminals = ids(&bg, &["x1", "x2"]);
+        assert_eq!(algorithm1(&bg, &terminals), Err(Algorithm1Error::NotAlphaAcyclic));
+    }
+
+    #[test]
+    fn rejects_disconnected_terminals() {
+        let bg = bipartite_from_lists(&["a", "b"], &["r1", "r2"], &[(0, 0), (1, 1)]);
+        let terminals = ids(&bg, &["a", "b"]);
+        assert_eq!(algorithm1(&bg, &terminals), Err(Algorithm1Error::Infeasible));
+    }
+
+    #[test]
+    fn isolated_v2_nodes_tolerated() {
+        let bg = bipartite_from_lists(&["a", "b"], &["r1", "dead"], &[(0, 0), (1, 0)]);
+        let terminals = ids(&bg, &["a", "b"]);
+        let out = algorithm1(&bg, &terminals).unwrap();
+        assert_eq!(out.v2_cost, 1);
+    }
+}
+
+impl PartialEq for Algorithm1Output {
+    /// Outputs compare by tree and cost; the ordering is a certificate,
+    /// not part of the answer.
+    fn eq(&self, other: &Self) -> bool {
+        self.tree == other.tree && self.v2_cost == other.v2_cost
+    }
+}
+

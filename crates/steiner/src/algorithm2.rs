@@ -1,0 +1,167 @@
+//! The paper's **Algorithm 2** (Theorem 5): Steiner trees on
+//! (6,2)-chordal bipartite graphs in `O(|V|·|A|)`.
+//!
+//! ```text
+//! Step 1. for every v in V − P̄: if G − v is a cover of P̄ then G := G − v
+//! Step 2. return a spanning tree of G
+//! ```
+//!
+//! Step 1 produces a *nonredundant* cover; Lemma 5 shows that on
+//! (6,2)-chordal graphs **every** nonredundant cover is minimum, so any
+//! scan order works (Corollary 5: all orderings are good). Off-class the
+//! same procedure is still a useful heuristic — it returns some
+//! nonredundant cover — and the `e8_offclass` experiment measures how far
+//! from optimal it can drift (Theorem 6 shows it can, already on
+//! (6,1)-chordal inputs).
+//!
+//! ## Interpretation note (elimination test)
+//!
+//! "`G − v` is a cover of `P̄`" must be read as *the terminals remain
+//! mutually connected in `G − v`* rather than as the literal
+//! Definition 10 predicate (*the whole remaining subgraph is connected*).
+//! Under the literal reading a one-pass sweep can keep redundant nodes:
+//! in the bipartite graph `t1–a–t2–v–t1` with a pendant chain `j2–j1–v`
+//! (which is (6,2)-chordal — its only cycle is a C4), the scan order
+//! `v, j1, j2, a` keeps `{t1, t2, v, j1}` (size 4) against the minimum
+//! `{t1, a, t2}`, contradicting Lemma 5's promise. Under the relaxed
+//! test a kept node stays necessary forever (components only refine when
+//! nodes are deleted), one pass yields a nonredundant cover, and
+//! Lemma 5 then makes it minimum — which the property tests verify
+//! against the exact solver.
+
+use crate::SteinerTree;
+use mcc_graph::{terminals_connected, Graph, NodeId, NodeSet};
+
+/// Runs Algorithm 2 with the default elimination order (increasing node
+/// id). Returns `None` when the terminals are not connected.
+///
+/// ```
+/// use mcc_graph::{builder::graph_from_edges, NodeId, NodeSet};
+/// use mcc_steiner::algorithm2;
+///
+/// // A square (C4, trivially (6,2)-chordal): connect two opposite
+/// // corners; the optimum uses one of the two midpoints.
+/// let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+/// let terminals = NodeSet::from_nodes(4, [NodeId(0), NodeId(2)]);
+/// let tree = algorithm2(&g, &terminals).expect("connected");
+/// assert_eq!(tree.node_cost(), 3); // minimum, per Theorem 5
+/// ```
+pub fn algorithm2(g: &Graph, terminals: &NodeSet) -> Option<SteinerTree> {
+    let order: Vec<NodeId> = g.nodes().collect();
+    algorithm2_with_order(g, terminals, &order)
+}
+
+/// Runs Algorithm 2 eliminating candidates in the given order (nodes
+/// missing from `order` are never eliminated). This is the entry point
+/// for the good-ordering experiments (Definition 11 / Theorem 6).
+pub fn algorithm2_with_order(
+    g: &Graph,
+    terminals: &NodeSet,
+    order: &[NodeId],
+) -> Option<SteinerTree> {
+    let n = g.node_count();
+    assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
+    if terminals.is_empty() {
+        return Some(SteinerTree { nodes: NodeSet::new(n), edges: vec![] });
+    }
+    // Start from the component containing the terminals (the rest of the
+    // graph is certainly removable; skipping it keeps Step 1 at |C| tests).
+    let comp = mcc_graph::connectivity::component_of(
+        g,
+        &NodeSet::full(n),
+        terminals.first().expect("nonempty"),
+    );
+    if !terminals.is_subset_of(&comp) {
+        return None;
+    }
+    let mut alive = comp;
+    for &v in order {
+        if terminals.contains(v) || !alive.contains(v) {
+            continue;
+        }
+        alive.remove(v);
+        if !terminals_connected(g, &alive, terminals) {
+            alive.insert(v);
+        }
+    }
+    // When `order` covers every candidate the surviving set is already
+    // connected (every kept node separates terminals, hence lies on a
+    // terminal path); with a partial order, stranded never-eliminated
+    // nodes may remain — trim to the terminals' component.
+    let alive = mcc_graph::connectivity::component_of(
+        g,
+        &alive,
+        terminals.first().expect("nonempty"),
+    );
+    SteinerTree::from_cover(g, &alive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::{is_nonredundant_cover, minimum_cover_bruteforce};
+    use mcc_graph::builder::graph_from_edges;
+
+    fn terminals(n: usize, ts: &[u32]) -> NodeSet {
+        NodeSet::from_nodes(n, ts.iter().map(|&t| NodeId(t)))
+    }
+
+    #[test]
+    fn produces_nonredundant_cover() {
+        // C4 plus pendant: a (6,2)-chordal bipartite graph.
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)]);
+        let p = terminals(5, &[1, 3]);
+        let t = algorithm2(&g, &p).unwrap();
+        assert!(t.is_valid_tree(&g));
+        assert!(p.is_subset_of(&t.nodes));
+        assert!(is_nonredundant_cover(&g, &t.nodes, &p));
+        // On a (6,2)-chordal graph the result is minimum (Theorem 5).
+        let bf = minimum_cover_bruteforce(&g, &p).unwrap();
+        assert_eq!(t.node_cost(), bf.len());
+    }
+
+    #[test]
+    fn respects_custom_order() {
+        // Square: eliminating 0 first keeps route through 2, and vice
+        // versa; both are minimum here.
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let p = terminals(4, &[1, 3]);
+        let via2 = algorithm2_with_order(&g, &p, &[NodeId(0), NodeId(2)]).unwrap();
+        assert!(via2.nodes.contains(NodeId(2)) && !via2.nodes.contains(NodeId(0)));
+        let via0 = algorithm2_with_order(&g, &p, &[NodeId(2), NodeId(0)]).unwrap();
+        assert!(via0.nodes.contains(NodeId(0)) && !via0.nodes.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn nodes_missing_from_order_survive() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let p = terminals(3, &[0]);
+        // Only node 1 may be eliminated; 2 stays even though removable.
+        let t = algorithm2_with_order(&g, &p, &[NodeId(1)]).unwrap();
+        assert!(t.nodes.contains(NodeId(2)));
+        assert_eq!(t.node_cost(), 2);
+    }
+
+    #[test]
+    fn disconnected_terminals_rejected() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(algorithm2(&g, &terminals(4, &[0, 2])).is_none());
+    }
+
+    #[test]
+    fn other_components_are_dropped() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let t = algorithm2(&g, &terminals(5, &[0, 2])).unwrap();
+        assert_eq!(t.node_cost(), 3);
+        assert!(!t.nodes.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn empty_and_singleton_terminals() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let t = algorithm2(&g, &terminals(3, &[])).unwrap();
+        assert_eq!(t.node_cost(), 0);
+        let t = algorithm2(&g, &terminals(3, &[1])).unwrap();
+        assert_eq!(t.node_cost(), 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Solution certification helpers shared by tests, examples, and benches.
+
+use crate::SteinerTree;
+use mcc_graph::{BipartiteGraph, Graph, NodeSet, Side};
+
+/// Full validity of a claimed Steiner tree for a terminal set: it is a
+/// tree in `g` and contains every terminal.
+pub fn is_steiner_tree_for(g: &Graph, tree: &SteinerTree, terminals: &NodeSet) -> bool {
+    terminals.is_subset_of(&tree.nodes) && tree.is_valid_tree(g)
+}
+
+/// Number of nodes of `tree` lying on `side` of `bg` — the cost the
+/// pseudo-Steiner problem w.r.t. that side minimizes.
+pub fn tree_side_cost(bg: &BipartiteGraph, tree: &SteinerTree, side: Side) -> usize {
+    tree.nodes
+        .iter()
+        .filter(|&v| bg.side(v) == side)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_graph::bipartite::bipartite_from_lists;
+    use mcc_graph::builder::graph_from_edges;
+    use mcc_graph::NodeId;
+
+    #[test]
+    fn certification_checks_terminals_and_shape() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let t = SteinerTree::from_cover(&g, &NodeSet::full(3)).unwrap();
+        let p = NodeSet::from_nodes(3, [NodeId(0), NodeId(2)]);
+        assert!(is_steiner_tree_for(&g, &t, &p));
+        let p_missing = NodeSet::from_nodes(3, [NodeId(0)]);
+        assert!(is_steiner_tree_for(&g, &t, &p_missing)); // superset is fine
+        let bad = SteinerTree { nodes: NodeSet::from_nodes(3, [NodeId(0), NodeId(2)]), edges: vec![] };
+        assert!(!is_steiner_tree_for(&g, &bad, &p));
+    }
+
+    #[test]
+    fn side_cost_counts() {
+        let bg = bipartite_from_lists(&["a", "b"], &["r"], &[(0, 0), (1, 0)]);
+        let t = SteinerTree::from_cover(bg.graph(), &NodeSet::full(3)).unwrap();
+        assert_eq!(tree_side_cost(&bg, &t, Side::V1), 2);
+        assert_eq!(tree_side_cost(&bg, &t, Side::V2), 1);
+    }
+}

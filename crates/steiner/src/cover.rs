@@ -1,0 +1,228 @@
+//! Covers of a node set (Definition 10) and their exhaustive baselines.
+
+use mcc_graph::{is_cover, Graph, NodeId, NodeSet};
+
+/// `true` iff the subgraph induced by `alive` is a **nonredundant cover**
+/// of `terminals`: a cover from which no single node can be removed while
+/// remaining a cover. (Removing a terminal always breaks coverage, so
+/// only auxiliary nodes matter in practice.)
+pub fn is_nonredundant_cover(g: &Graph, alive: &NodeSet, terminals: &NodeSet) -> bool {
+    if !is_cover(g, alive, terminals) {
+        return false;
+    }
+    let mut probe = alive.clone();
+    for v in alive.to_vec() {
+        if terminals.contains(v) {
+            continue;
+        }
+        probe.remove(v);
+        let still = is_cover(g, &probe, terminals);
+        probe.insert(v);
+        if still {
+            return false;
+        }
+    }
+    true
+}
+
+/// `true` iff `alive` is a **side-nonredundant cover**: no node *from
+/// `side_nodes`* can be removed (Definition 10's `Vᵢ`-nonredundant
+/// covers).
+pub fn is_side_nonredundant_cover(
+    g: &Graph,
+    alive: &NodeSet,
+    terminals: &NodeSet,
+    side_nodes: &NodeSet,
+) -> bool {
+    if !is_cover(g, alive, terminals) {
+        return false;
+    }
+    let mut probe = alive.clone();
+    for v in alive.intersection(side_nodes).to_vec() {
+        if terminals.contains(v) {
+            continue;
+        }
+        probe.remove(v);
+        let still = is_cover(g, &probe, terminals);
+        probe.insert(v);
+        if still {
+            return false;
+        }
+    }
+    true
+}
+
+/// Exhaustive minimum cover: the cover of `terminals` with the fewest
+/// nodes, found by enumerating all supersets of `terminals`.
+/// `O(2^(n - |terminals|))` — ground truth for small instances only.
+///
+/// Returns `None` when no cover exists (terminals split across
+/// components). Among equal-cost covers the lexicographically first node
+/// set wins (mask enumeration order), making results deterministic.
+pub fn minimum_cover_bruteforce(g: &Graph, terminals: &NodeSet) -> Option<NodeSet> {
+    minimize_by(g, terminals, |cover| cover.len())
+}
+
+/// Exhaustive side-minimum cover: minimizes `|cover ∩ side_nodes|`
+/// (Definition 10's `Vᵢ`-minimum cover). Ground truth for pseudo-Steiner.
+pub fn side_minimum_cover_bruteforce(
+    g: &Graph,
+    terminals: &NodeSet,
+    side_nodes: &NodeSet,
+) -> Option<NodeSet> {
+    minimize_by(g, terminals, |cover| cover.intersection(side_nodes).len())
+}
+
+fn minimize_by(
+    g: &Graph,
+    terminals: &NodeSet,
+    cost: impl Fn(&NodeSet) -> usize,
+) -> Option<NodeSet> {
+    let n = g.node_count();
+    assert!(n <= 24, "brute-force cover search is for tiny instances (n ≤ 24)");
+    let free: Vec<NodeId> = g.nodes().filter(|v| !terminals.contains(*v)).collect();
+    let k = free.len();
+    let mut best: Option<(usize, NodeSet)> = None;
+    for mask in 0u64..(1u64 << k) {
+        let mut cover = terminals.clone();
+        for (i, &v) in free.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                cover.insert(v);
+            }
+        }
+        if is_cover(g, &cover, terminals) {
+            let c = cost(&cover);
+            if best.as_ref().map_or(true, |(bc, _)| c < *bc) {
+                best = Some((c, cover));
+            }
+        }
+    }
+    best.map(|(_, s)| s)
+}
+
+/// `true` iff `path` (a node sequence) is a **nonredundant path** between
+/// its endpoints: the subgraph induced by its nodes is a nonredundant
+/// cover of the endpoint pair (Definition 10).
+pub fn is_nonredundant_path(g: &Graph, path: &[NodeId]) -> bool {
+    let Some((&first, &last)) = path.first().zip(path.last()) else {
+        return false;
+    };
+    // Must actually be a path in g.
+    if path.windows(2).any(|w| !g.has_edge(w[0], w[1])) {
+        return false;
+    }
+    let mut seen = NodeSet::new(g.node_count());
+    for &v in path {
+        if !seen.insert(v) {
+            return false; // repeated node
+        }
+    }
+    let terminals = NodeSet::from_nodes(g.node_count(), [first, last]);
+    is_nonredundant_cover(g, &seen, &terminals)
+}
+
+/// `true` iff `path` is a **minimum path**: its node set is a minimum
+/// cover of the endpoints, i.e. its length equals the graph distance.
+pub fn is_minimum_path(g: &Graph, path: &[NodeId]) -> bool {
+    let Some((&first, &last)) = path.first().zip(path.last()) else {
+        return false;
+    };
+    if path.windows(2).any(|w| !g.has_edge(w[0], w[1])) {
+        return false;
+    }
+    let dist = mcc_graph::bfs_distances(g, &NodeSet::full(g.node_count()), first);
+    dist[last.index()] != mcc_graph::INFINITE_DISTANCE
+        && (path.len() - 1) as u32 == dist[last.index()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_graph::builder::graph_from_edges;
+
+    fn ids(xs: &[u32]) -> Vec<NodeId> {
+        xs.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    /// The paper's Fig. 8 example graph is exercised in the figures suite;
+    /// here a smaller shape: square 0-1-2-3 plus a pendant 4 on 0.
+    fn square_pendant() -> Graph {
+        graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)])
+    }
+
+    #[test]
+    fn nonredundant_cover_basics() {
+        let g = square_pendant();
+        let p = NodeSet::from_nodes(5, [NodeId(1), NodeId(3)]);
+        // The whole square covers {1,3} but is redundant (drop 0 or 2).
+        let square = NodeSet::from_nodes(5, (0..4).map(NodeId));
+        assert!(!is_nonredundant_cover(&g, &square, &p));
+        // One corner path is nonredundant.
+        let corner = NodeSet::from_nodes(5, ids(&[1, 0, 3]));
+        assert!(is_nonredundant_cover(&g, &corner, &p));
+        // Not a cover at all.
+        let bad = NodeSet::from_nodes(5, ids(&[1, 3]));
+        assert!(!is_nonredundant_cover(&g, &bad, &p));
+    }
+
+    #[test]
+    fn minimum_cover_found() {
+        let g = square_pendant();
+        let p = NodeSet::from_nodes(5, [NodeId(1), NodeId(3)]);
+        let min = minimum_cover_bruteforce(&g, &p).unwrap();
+        assert_eq!(min.len(), 3); // 1-0-3 or 1-2-3
+        assert!(is_nonredundant_cover(&g, &min, &p));
+    }
+
+    #[test]
+    fn minimum_cover_none_when_disconnected() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let p = NodeSet::from_nodes(4, [NodeId(0), NodeId(3)]);
+        assert!(minimum_cover_bruteforce(&g, &p).is_none());
+    }
+
+    #[test]
+    fn side_minimum_differs_from_minimum() {
+        // Two routes from 0 to 3: via 1 (a side node, length 2) or via
+        // 4-5 (non-side, length 3). Side-minimum prefers the longer one.
+        let g = graph_from_edges(6, &[(0, 1), (1, 3), (0, 4), (4, 5), (5, 3)]);
+        let p = NodeSet::from_nodes(6, [NodeId(0), NodeId(3)]);
+        let side = NodeSet::from_nodes(6, [NodeId(1)]);
+        let min = minimum_cover_bruteforce(&g, &p).unwrap();
+        assert_eq!(min.len(), 3);
+        assert!(min.contains(NodeId(1)));
+        let side_min = side_minimum_cover_bruteforce(&g, &p, &side).unwrap();
+        assert!(!side_min.contains(NodeId(1)));
+        assert_eq!(side_min.intersection(&side).len(), 0);
+        assert!(is_side_nonredundant_cover(&g, &side_min, &p, &side) || side_min.len() == 4);
+    }
+
+    #[test]
+    fn nonredundant_paths() {
+        // Square: both 1-0-3 and 1-2-3 are nonredundant AND minimum.
+        let g = square_pendant();
+        assert!(is_nonredundant_path(&g, &ids(&[1, 0, 3])));
+        assert!(is_minimum_path(&g, &ids(&[1, 0, 3])));
+        // A non-path sequence.
+        assert!(!is_nonredundant_path(&g, &ids(&[1, 3])));
+        // Degenerate single node: trivially a nonredundant cover of itself.
+        assert!(is_nonredundant_path(&g, &ids(&[2])));
+        // Repeated node.
+        assert!(!is_nonredundant_path(&g, &ids(&[1, 0, 1])));
+        // Empty.
+        assert!(!is_nonredundant_path(&g, &[]));
+    }
+
+    #[test]
+    fn nonredundant_but_not_minimum_path_exists_in_c6() {
+        // In a 6-cycle, the long way around between two distance-2 nodes
+        // is nonredundant but not minimum — exactly the Lemma 4 witness.
+        let g = graph_from_edges(6, &(0..6).map(|i| (i, (i + 1) % 6)).collect::<Vec<_>>());
+        let long_way = ids(&[0, 5, 4, 3, 2]);
+        assert!(is_nonredundant_path(&g, &long_way));
+        assert!(!is_minimum_path(&g, &long_way));
+        let short = ids(&[0, 1, 2]);
+        assert!(is_nonredundant_path(&g, &short));
+        assert!(is_minimum_path(&g, &short));
+    }
+}

@@ -1,0 +1,339 @@
+//! Exact Steiner solving: a node-weighted Dreyfus–Wagner dynamic program.
+//!
+//! The paper's Steiner problem minimizes the **number of nodes** of the
+//! tree (Definition 8), and the pseudo-Steiner problem the number of
+//! nodes on one side (Definition 9). Both are node-weighted Steiner
+//! problems — unit weights and indicator weights respectively — so a
+//! single DP serves as ground truth for Algorithms 1 and 2 and as the
+//! exponential baseline the NP-hardness experiments (Theorem 2) push
+//! until it blows up.
+//!
+//! Complexity `O(3^k·n + 2^k·n²)` for `k` terminals on `n` nodes, after
+//! `n` node-weighted Dijkstra passes.
+
+use crate::{SteinerInstance, SteinerTree};
+use mcc_graph::{Graph, NodeId, NodeSet};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+const INF: u64 = u64::MAX / 4;
+
+/// An exact solution: the tree plus its weighted cost.
+#[derive(Debug, Clone)]
+pub struct ExactSolution {
+    /// An optimal Steiner tree.
+    pub tree: SteinerTree,
+    /// Its cost: the sum of node weights over the tree's nodes.
+    pub cost: u64,
+}
+
+/// Exact minimum-node Steiner tree (unit node weights). `None` when the
+/// terminals are not connected in `g`.
+///
+/// ```
+/// use mcc_graph::{builder::graph_from_edges, NodeId, NodeSet};
+/// use mcc_steiner::{steiner_exact, SteinerInstance};
+///
+/// // A star: connecting three leaves must pass through the center.
+/// let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+/// let terminals = NodeSet::from_nodes(4, [NodeId(1), NodeId(2), NodeId(3)]);
+/// let sol = steiner_exact(&SteinerInstance::new(g, terminals)).unwrap();
+/// assert_eq!(sol.cost, 4);
+/// assert!(sol.tree.nodes.contains(NodeId(0)));
+/// ```
+pub fn steiner_exact(inst: &SteinerInstance) -> Option<ExactSolution> {
+    let w = vec![1u64; inst.graph.node_count()];
+    steiner_exact_node_weighted(&inst.graph, &inst.terminals, &w)
+}
+
+/// Exact minimum-weight Steiner tree under arbitrary non-negative node
+/// weights. See module docs for the recurrence; the terminal count is the
+/// exponential dimension.
+///
+/// # Panics
+/// Panics when more than 24 terminals are supplied (the mask would not
+/// fit sensible memory anyway).
+pub fn steiner_exact_node_weighted(
+    g: &Graph,
+    terminals: &NodeSet,
+    weights: &[u64],
+) -> Option<ExactSolution> {
+    let n = g.node_count();
+    assert_eq!(weights.len(), n, "one weight per node");
+    let ts: Vec<NodeId> = terminals.to_vec();
+    let k = ts.len();
+    assert!(k <= 24, "Dreyfus–Wagner is exponential in |terminals|; got {k}");
+
+    if k == 0 {
+        return Some(ExactSolution {
+            tree: SteinerTree { nodes: NodeSet::new(n), edges: vec![] },
+            cost: 0,
+        });
+    }
+    if k == 1 {
+        let t = ts[0];
+        return Some(ExactSolution {
+            tree: SteinerTree { nodes: NodeSet::from_nodes(n, [t]), edges: vec![] },
+            cost: weights[t.index()],
+        });
+    }
+
+    // Node-weighted shortest paths: dist[u][v] = min over u→v paths of
+    // Σ w(x) over path nodes except u; parent pointers for extraction.
+    let mut dist = vec![vec![INF; n]; n];
+    let mut parent = vec![vec![usize::MAX; n]; n];
+    for u in 0..n {
+        dijkstra_from(g, weights, u, &mut dist[u], &mut parent[u]);
+    }
+
+    // dp[mask][v] = min weight of a tree containing {t_i : i ∈ mask} ∪ {v}.
+    let full: usize = (1 << k) - 1;
+    let mut dp = vec![vec![INF; n]; full + 1];
+    for (i, &t) in ts.iter().enumerate() {
+        let row = &mut dp[1 << i];
+        for v in 0..n {
+            let d = dist[t.index()][v];
+            if d < INF {
+                row[v] = weights[t.index()] + d;
+            }
+        }
+    }
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        // Merge step at every node, then one relaxation through the
+        // distance matrix.
+        let mut tmp = vec![INF; n];
+        let mut sub = (mask - 1) & mask;
+        while sub > 0 {
+            let rest = mask ^ sub;
+            if sub < rest {
+                // each unordered split once
+                for v in 0..n {
+                    let (a, b) = (dp[sub][v], dp[rest][v]);
+                    if a < INF && b < INF {
+                        let c = a + b - weights[v];
+                        if c < tmp[v] {
+                            tmp[v] = c;
+                        }
+                    }
+                }
+            }
+            sub = (sub - 1) & mask;
+        }
+        let row = &mut dp[mask];
+        for v in 0..n {
+            let mut best = tmp[v];
+            for u in 0..n {
+                if tmp[u] < INF && dist[u][v] < INF {
+                    best = best.min(tmp[u] + dist[u][v]);
+                }
+            }
+            row[v] = best;
+        }
+    }
+
+    // Root the answer at t_0.
+    let t0 = ts[0];
+    let rest_mask = full & !1;
+    let cost = dp[rest_mask][t0.index()];
+    if cost >= INF {
+        return None;
+    }
+
+    // Reconstruct by replaying the argmins.
+    let mut nodes = NodeSet::new(n);
+    nodes.insert(t0);
+    reconstruct(
+        g, weights, &ts, &dist, &parent, &dp, rest_mask, t0.index(), &mut nodes,
+    );
+    let tree = SteinerTree::from_cover(g, &nodes).expect("reconstructed cover is connected");
+    debug_assert_eq!(
+        nodes.iter().map(|v| weights[v.index()]).sum::<u64>(),
+        cost,
+        "reconstruction must realize the DP cost"
+    );
+    Some(ExactSolution { tree, cost })
+}
+
+fn dijkstra_from(g: &Graph, w: &[u64], src: usize, dist: &mut [u64], parent: &mut [usize]) {
+    dist[src] = 0;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    heap.push(Reverse((0, src)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for &u in g.neighbors(NodeId::from_index(v)) {
+            let nd = d + w[u.index()];
+            if nd < dist[u.index()] {
+                dist[u.index()] = nd;
+                parent[u.index()] = v;
+                heap.push(Reverse((nd, u.index())));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn reconstruct(
+    g: &Graph,
+    w: &[u64],
+    ts: &[NodeId],
+    dist: &[Vec<u64>],
+    parent: &[Vec<usize>],
+    dp: &[Vec<u64>],
+    mask: usize,
+    v: usize,
+    nodes: &mut NodeSet,
+) {
+    let target = dp[mask][v];
+    debug_assert!(target < INF);
+    if mask.count_ones() == 1 {
+        let i = mask.trailing_zeros() as usize;
+        let t = ts[i].index();
+        add_path(parent, t, v, nodes);
+        nodes.insert(ts[i]);
+        return;
+    }
+    // Find u and a split (sub, rest) with dp[sub][u] + dp[rest][u] - w(u)
+    // + dist[u][v] == dp[mask][v].
+    for u in 0..g.node_count() {
+        if dist[u][v] >= INF {
+            continue;
+        }
+        let need = match target.checked_sub(dist[u][v]) {
+            Some(x) => x,
+            None => continue,
+        };
+        let mut sub = (mask - 1) & mask;
+        while sub > 0 {
+            let rest = mask ^ sub;
+            if sub < rest
+                && dp[sub][u] < INF
+                && dp[rest][u] < INF
+                && dp[sub][u] + dp[rest][u] - w[u] == need
+            {
+                add_path(parent, u, v, nodes);
+                nodes.insert(NodeId::from_index(u));
+                reconstruct(g, w, ts, dist, parent, dp, sub, u, nodes);
+                reconstruct(g, w, ts, dist, parent, dp, rest, u, nodes);
+                return;
+            }
+            sub = (sub - 1) & mask;
+        }
+    }
+    unreachable!("DP value {target} for mask {mask:b} at node {v} has no witness");
+}
+
+/// Adds the nodes of the stored shortest path from `src` to `v`
+/// (exclusive of `src`, inclusive of `v` — `src` is added by the caller).
+fn add_path(parent: &[Vec<usize>], src: usize, v: usize, nodes: &mut NodeSet) {
+    let mut cur = v;
+    while cur != src {
+        nodes.insert(NodeId::from_index(cur));
+        cur = parent[src][cur];
+        debug_assert_ne!(cur, usize::MAX, "path must lead back to the source");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::{minimum_cover_bruteforce, side_minimum_cover_bruteforce};
+    use mcc_graph::builder::graph_from_edges;
+
+    fn solve_unit(g: &Graph, ts: &[u32]) -> Option<ExactSolution> {
+        let terminals = NodeSet::from_nodes(g.node_count(), ts.iter().map(|&t| NodeId(t)));
+        steiner_exact(&SteinerInstance::new(g.clone(), terminals))
+    }
+
+    #[test]
+    fn two_terminals_is_shortest_path() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let s = solve_unit(&g, &[0, 2]).unwrap();
+        assert_eq!(s.cost, 3); // 0-1-2
+        assert!(s.tree.is_valid_tree(&g));
+        assert!(s.tree.nodes.contains(NodeId(0)) && s.tree.nodes.contains(NodeId(2)));
+    }
+
+    #[test]
+    fn star_center_is_used() {
+        // Star with center 0 and leaves 1..4: tree over three leaves must
+        // route through the center.
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = solve_unit(&g, &[1, 2, 3]).unwrap();
+        assert_eq!(s.cost, 4);
+        assert!(s.tree.nodes.contains(NodeId(0)));
+    }
+
+    #[test]
+    fn single_and_zero_terminals() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let s = solve_unit(&g, &[2]).unwrap();
+        assert_eq!(s.cost, 1);
+        let s = solve_unit(&g, &[]).unwrap();
+        assert_eq!(s.cost, 0);
+        assert!(s.tree.nodes.is_empty());
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(solve_unit(&g, &[0, 3]).is_none());
+    }
+
+    #[test]
+    fn matches_bruteforce_minimum_cover() {
+        // A 3×3 grid; terminals at three corners.
+        let g = graph_from_edges(
+            9,
+            &[
+                (0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8),
+                (0, 3), (3, 6), (1, 4), (4, 7), (2, 5), (5, 8),
+            ],
+        );
+        let terminals = NodeSet::from_nodes(9, [NodeId(0), NodeId(2), NodeId(6)]);
+        let s = steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone())).unwrap();
+        let bf = minimum_cover_bruteforce(&g, &terminals).unwrap();
+        assert_eq!(s.cost as usize, bf.len());
+        assert!(s.tree.is_valid_tree(&g));
+        assert!(terminals.is_subset_of(&s.tree.nodes));
+    }
+
+    #[test]
+    fn node_weights_steer_the_tree() {
+        // Diamond: 0-1-3 and 0-2-3; node 1 heavy.
+        let g = graph_from_edges(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let terminals = NodeSet::from_nodes(4, [NodeId(0), NodeId(3)]);
+        let w = vec![1, 10, 1, 1];
+        let s = steiner_exact_node_weighted(&g, &terminals, &w).unwrap();
+        assert_eq!(s.cost, 3);
+        assert!(s.tree.nodes.contains(NodeId(2)));
+        assert!(!s.tree.nodes.contains(NodeId(1)));
+    }
+
+    #[test]
+    fn zero_weights_model_pseudo_steiner() {
+        // Side = {1}: route through 4-5 (weight 0 each) beats node 1.
+        let g = graph_from_edges(6, &[(0, 1), (1, 3), (0, 4), (4, 5), (5, 3)]);
+        let terminals = NodeSet::from_nodes(6, [NodeId(0), NodeId(3)]);
+        let w = vec![0, 1, 0, 0, 0, 0];
+        let s = steiner_exact_node_weighted(&g, &terminals, &w).unwrap();
+        assert_eq!(s.cost, 0);
+        assert!(!s.tree.nodes.contains(NodeId(1)));
+        let side = NodeSet::from_nodes(6, [NodeId(1)]);
+        let bf = side_minimum_cover_bruteforce(&g, &terminals, &side).unwrap();
+        assert_eq!(bf.intersection(&side).len() as u64, s.cost);
+    }
+
+    #[test]
+    fn four_terminals_on_cycle() {
+        let g = graph_from_edges(8, &(0..8).map(|i| (i, (i + 1) % 8)).collect::<Vec<_>>());
+        let s = solve_unit(&g, &[0, 2, 4, 6]).unwrap();
+        // Connecting alternating nodes of C8 needs 7 nodes (all but one).
+        assert_eq!(s.cost, 7);
+        assert!(s.tree.is_valid_tree(&g));
+    }
+}

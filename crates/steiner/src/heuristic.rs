@@ -1,0 +1,137 @@
+//! A Kou–Markowsky–Berman-style Steiner heuristic (2-approximation on
+//! edge counts), used as the off-class baseline in the experiments.
+//!
+//! 1. build the metric closure of the terminals (BFS distances);
+//! 2. take a minimum spanning tree of the closure (Prim);
+//! 3. expand closure edges into shortest paths and union their nodes;
+//! 4. prune: eliminate redundant nodes (an Algorithm-2-style sweep),
+//!    yielding a nonredundant cover;
+//! 5. return a spanning tree.
+
+use crate::{algorithm2_with_order, SteinerTree};
+use mcc_graph::{bfs_distances, shortest_path, Graph, NodeId, NodeSet, INFINITE_DISTANCE};
+
+/// Runs the KMB-style heuristic. Returns `None` when the terminals are
+/// not connected.
+pub fn steiner_kmb(g: &Graph, terminals: &NodeSet) -> Option<SteinerTree> {
+    let n = g.node_count();
+    assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
+    let ts: Vec<NodeId> = terminals.to_vec();
+    if ts.is_empty() {
+        return Some(SteinerTree { nodes: NodeSet::new(n), edges: vec![] });
+    }
+    let full = NodeSet::full(n);
+    // Metric closure rows for terminals only.
+    let dist: Vec<Vec<u32>> = ts.iter().map(|&t| bfs_distances(g, &full, t)).collect();
+    // Prim over the closure.
+    let k = ts.len();
+    let mut in_tree = vec![false; k];
+    let mut best = vec![u32::MAX; k];
+    let mut best_from = vec![0usize; k];
+    in_tree[0] = true;
+    for (i, b) in best.iter_mut().enumerate() {
+        *b = dist[0][ts[i].index()];
+    }
+    let mut union = NodeSet::new(n);
+    union.insert(ts[0]);
+    for _ in 1..k {
+        let (i, _) = best
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !in_tree[*i])
+            .min_by_key(|(_, &d)| d)?;
+        if best[i] == INFINITE_DISTANCE {
+            return None; // disconnected terminals
+        }
+        in_tree[i] = true;
+        // Expand the chosen closure edge into a concrete shortest path.
+        let path = shortest_path(g, &full, ts[best_from[i]], ts[i]).expect("finite distance");
+        for v in path {
+            union.insert(v);
+        }
+        for j in 0..k {
+            if !in_tree[j] && dist[i][ts[j].index()] < best[j] {
+                best[j] = dist[i][ts[j].index()];
+                best_from[j] = i;
+            }
+        }
+    }
+    // Prune to a nonredundant cover (restricting elimination to the
+    // union keeps this cheap), then span.
+    let order: Vec<NodeId> = union.to_vec();
+    let sub = restrict_graph(g, &union);
+    let t_local = algorithm2_with_order(
+        &sub.graph,
+        &NodeSet::from_nodes(
+            sub.graph.node_count(),
+            ts.iter().map(|&t| sub.from_parent[t.index()].expect("terminal in union")),
+        ),
+        &(0..order.len()).map(NodeId::from_index).collect::<Vec<_>>(),
+    )?;
+    // Lift back to parent ids.
+    let nodes = NodeSet::from_nodes(n, t_local.nodes.iter().map(|v| sub.to_parent[v.index()]));
+    SteinerTree::from_cover(g, &nodes)
+}
+
+fn restrict_graph(g: &Graph, keep: &NodeSet) -> mcc_graph::InducedSubgraph {
+    mcc_graph::induced_subgraph(g, keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::steiner_exact;
+    use crate::SteinerInstance;
+    use mcc_graph::builder::graph_from_edges;
+
+    fn terminals(n: usize, ts: &[u32]) -> NodeSet {
+        NodeSet::from_nodes(n, ts.iter().map(|&t| NodeId(t)))
+    }
+
+    #[test]
+    fn two_terminals_gives_shortest_path() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let t = steiner_kmb(&g, &terminals(5, &[0, 2])).unwrap();
+        assert_eq!(t.node_cost(), 3);
+        assert!(t.is_valid_tree(&g));
+    }
+
+    #[test]
+    fn star_three_leaves() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let t = steiner_kmb(&g, &terminals(5, &[1, 2, 3])).unwrap();
+        assert_eq!(t.node_cost(), 4);
+    }
+
+    #[test]
+    fn never_worse_than_double_optimal_on_small_cases() {
+        let g = graph_from_edges(
+            9,
+            &[
+                (0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8),
+                (0, 3), (3, 6), (1, 4), (4, 7), (2, 5), (5, 8),
+            ],
+        );
+        for ts in [vec![0, 8], vec![0, 2, 6], vec![0, 2, 6, 8]] {
+            let p = terminals(9, &ts);
+            let h = steiner_kmb(&g, &p).unwrap();
+            let e = steiner_exact(&SteinerInstance::new(g.clone(), p.clone())).unwrap();
+            assert!(h.node_cost() as u64 <= 2 * e.cost, "ts={ts:?}");
+            assert!(h.node_cost() as u64 >= e.cost);
+            assert!(p.is_subset_of(&h.nodes));
+        }
+    }
+
+    #[test]
+    fn disconnected_terminals_none() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(steiner_kmb(&g, &terminals(4, &[0, 3])).is_none());
+    }
+
+    #[test]
+    fn empty_terminals() {
+        let g = graph_from_edges(2, &[(0, 1)]);
+        let t = steiner_kmb(&g, &terminals(2, &[])).unwrap();
+        assert_eq!(t.node_cost(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # `mcc-steiner` — minimal connections (Section 3 of the paper)
+//!
+//! The paper's driving problem: given a graph `G` and a set `P̄` of nodes
+//! (a query over object names), find a tree over `P̄` with the minimum
+//! number of nodes — the (unweighted, node-count) **Steiner problem**
+//! (Definition 8) — or with the minimum number of nodes from one side of a
+//! bipartition — the **pseudo-Steiner problem** (Definition 9).
+//!
+//! Contents:
+//!
+//! * [`cover`] — Definition 10: covers, nonredundant covers, minimum and
+//!   `Vᵢ`-minimum covers, nonredundant/minimum paths (with exhaustive
+//!   baselines for small instances);
+//! * [`instance`] — problem/solution types with validity checking;
+//! * [`exact`] — a Dreyfus–Wagner dynamic program over **node weights**
+//!   (unit weights give the Steiner problem; `V₂`-indicator weights give
+//!   pseudo-Steiner ground truth). Exponential in `|P̄|`, the baseline
+//!   that the NP-hardness experiments push until it blows up;
+//! * [`algorithm1`](mod@algorithm1) — the paper's **Algorithm 1** (Theorem 3/4):
+//!   pseudo-Steiner w.r.t. `V₂` on V₂-chordal, V₂-conformal graphs in
+//!   `O(|V|·|A|)`, driven by the reversed Tarjan–Yannakakis ordering of
+//!   `H¹`'s edges (Lemma 1);
+//! * [`algorithm2`](mod@algorithm2) — the paper's **Algorithm 2** (Theorem 5): the full
+//!   Steiner problem on (6,2)-chordal graphs by arbitrary-order node
+//!   elimination (Lemmas 4/5 make every nonredundant cover minimum);
+//! * [`heuristic`] — a KMB-style shortest-path/MST 2-approximation used
+//!   as the off-class baseline;
+//! * [`ordering`] — good orderings (Definition 11), the machinery behind
+//!   Corollary 5 and the Theorem 6 counterexample;
+//! * [`pseudo`] — side-aware wrappers (Corollary 4's swapped-side route).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm1;
+pub mod algorithm2;
+pub mod certify;
+pub mod cover;
+pub mod exact;
+pub mod exact_ids;
+pub mod heuristic;
+pub mod instance;
+pub mod ordering;
+pub mod pseudo;
+
+pub use algorithm1::{algorithm1, verify_lemma1_ordering, Algorithm1Error};
+pub use algorithm2::{algorithm2, algorithm2_with_order};
+pub use certify::{is_steiner_tree_for, tree_side_cost};
+pub use cover::{
+    is_minimum_path, is_nonredundant_cover, is_nonredundant_path, minimum_cover_bruteforce,
+    side_minimum_cover_bruteforce,
+};
+pub use exact::{steiner_exact, steiner_exact_node_weighted, ExactSolution};
+pub use exact_ids::steiner_exact_ids;
+pub use heuristic::steiner_kmb;
+pub use instance::{SteinerInstance, SteinerTree};
+pub use ordering::{eliminate_with_ordering, is_good_ordering_for, ordering_landscape};
+pub use pseudo::{pseudo_steiner, PseudoSide};
