@@ -13,12 +13,20 @@ fn bench_pseudo_sides(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_pseudo_sides");
     group.sample_size(20);
     for nodes in [24usize, 48, 96] {
-        let shape = IntervalShape { nodes, edges: nodes, max_len: 5 };
+        let shape = IntervalShape {
+            nodes,
+            edges: nodes,
+            max_len: 5,
+        };
         let (_, bg) = random_interval_hypergraph(shape, 5);
         let g = bg.graph();
         // Terminals inside the largest component.
         let comps = connected_components(g, &mcc::graph::NodeSet::full(g.node_count()));
-        let biggest = comps.iter().max_by_key(|c| c.len()).expect("nonempty").clone();
+        let biggest = comps
+            .iter()
+            .max_by_key(|c| c.len())
+            .expect("nonempty")
+            .clone();
         let terminals = random_terminals(g, Some(&biggest), 4.min(biggest.len()), 77);
         for side in [PseudoSide::V1, PseudoSide::V2] {
             group.bench_with_input(

@@ -19,14 +19,16 @@ fn bench_orderings(c: &mut Criterion) {
     // Corollary 5 sanity while measuring: both orders give equal cost.
     let a = algorithm2_with_order(w.graph(), &w.terminals, &forward).expect("connected");
     let b = algorithm2_with_order(w.graph(), &w.terminals, &reverse).expect("connected");
-    assert_eq!(a.node_cost(), b.node_cost(), "Corollary 5 violated in bench setup");
+    assert_eq!(
+        a.node_cost(),
+        b.node_cost(),
+        "Corollary 5 violated in bench setup"
+    );
 
     for (name, order) in [("forward", &forward), ("reverse", &reverse)] {
         group.bench_with_input(BenchmarkId::new("six_two", name), order, |bch, order| {
             bch.iter(|| {
-                black_box(
-                    algorithm2_with_order(w.graph(), &w.terminals, order).expect("connected"),
-                )
+                black_box(algorithm2_with_order(w.graph(), &w.terminals, order).expect("connected"))
             })
         });
     }

@@ -13,9 +13,11 @@ fn bench_offclass(c: &mut Criterion) {
     let Some(w) = (0..32).find_map(|seed| offclass_workload(10, 4, seed)) else {
         panic!("no feasible off-class workload found");
     };
-    group.bench_with_input(BenchmarkId::new("greedy_elimination", w.tag.clone()), &w, |b, w| {
-        b.iter(|| black_box(algorithm2(w.graph(), &w.terminals).expect("feasible")))
-    });
+    group.bench_with_input(
+        BenchmarkId::new("greedy_elimination", w.tag.clone()),
+        &w,
+        |b, w| b.iter(|| black_box(algorithm2(w.graph(), &w.terminals).expect("feasible"))),
+    );
     group.bench_with_input(BenchmarkId::new("kmb", w.tag.clone()), &w, |b, w| {
         b.iter(|| black_box(steiner_kmb(w.graph(), &w.terminals).expect("feasible")))
     });

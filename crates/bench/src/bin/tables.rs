@@ -86,7 +86,9 @@ fn exp_hierarchy() {
                 mismatches += 1;
             }
         }
-        println!("| {p} | {samples} | {berge} | {gamma} | {beta} | {alpha} | {cyclic} | {mismatches} |");
+        println!(
+            "| {p} | {samples} | {berge} | {gamma} | {beta} | {alpha} | {cyclic} | {mismatches} |"
+        );
     }
     println!();
 }
@@ -104,13 +106,16 @@ fn exp_e3_np_hardness() {
         let t0 = Instant::now();
         let sol = steiner_exact(&inst).expect("planted gadget feasible");
         let exact_us = t0.elapsed().as_micros().max(1);
-        assert_eq!(sol.cost as usize, gadget.threshold(), "planted cover must be found");
+        assert_eq!(
+            sol.cost as usize,
+            gadget.threshold(),
+            "planted cover must be found"
+        );
         // The second exponential baseline (iterative deepening) has a
         // different shape; both blow up, Algorithm 1 does not.
         let (ids_us, ids_cost) = if q <= 4 {
             let t0 = Instant::now();
-            let ids = mcc::steiner::steiner_exact_ids(w.graph(), &w.terminals)
-                .expect("feasible");
+            let ids = mcc::steiner::steiner_exact_ids(w.graph(), &w.terminals).expect("feasible");
             (t0.elapsed().as_micros().max(1).to_string(), ids.cost)
         } else {
             ("-".into(), sol.cost)
@@ -156,7 +161,11 @@ fn exp_e4_algorithm1() {
             let exact =
                 mcc::steiner::steiner_exact_node_weighted(w.graph(), &w.terminals, &weights)
                     .expect("feasible");
-            if exact.cost as usize == out.v2_cost { "yes" } else { "NO" }
+            if exact.cost as usize == out.v2_cost {
+                "yes"
+            } else {
+                "NO"
+            }
         } else {
             "(unchecked)"
         };
@@ -190,7 +199,11 @@ fn exp_e5_algorithm2() {
             let e_us = t0.elapsed().as_micros().max(1);
             (
                 e_us.to_string(),
-                if exact.cost as usize == tree.node_cost() { "yes" } else { "NO" },
+                if exact.cost as usize == tree.node_cost() {
+                    "yes"
+                } else {
+                    "NO"
+                },
             )
         } else {
             ("-".into(), "(skipped)")
@@ -214,12 +227,17 @@ fn exp_e6_corollary4() {
     println!("| seed | nodes | side | alg1 cost | exhaustive cost | agree |");
     println!("|---|---|---|---|---|---|");
     for seed in 0..5u64 {
-        let shape = mcc::gen::interval::IntervalShape { nodes: 7, edges: 5, max_len: 3 };
+        let shape = mcc::gen::interval::IntervalShape {
+            nodes: 7,
+            edges: 5,
+            max_len: 3,
+        };
         let (_, bg) = mcc::gen::random_interval_hypergraph(shape, seed);
         let g = bg.graph().clone();
         // Sample terminals inside the largest component so the instance
         // is feasible (random intervals need not connect everything).
-        let comps = mcc::graph::connected_components(&g, &mcc::graph::NodeSet::full(g.node_count()));
+        let comps =
+            mcc::graph::connected_components(&g, &mcc::graph::NodeSet::full(g.node_count()));
         let biggest = comps
             .iter()
             .max_by_key(|c| c.len())
@@ -234,10 +252,8 @@ fn exp_e6_corollary4() {
             };
             match pseudo_steiner(&bg, &terminals, side) {
                 Ok(sol) => {
-                    let bf = mcc::steiner::side_minimum_cover_bruteforce(
-                        &g, &terminals, &side_set,
-                    )
-                    .expect("feasible");
+                    let bf = mcc::steiner::side_minimum_cover_bruteforce(&g, &terminals, &side_set)
+                        .expect("feasible");
                     let bfc = bf.intersection(&side_set).len();
                     println!(
                         "| {seed} | {} | {side:?} | {} | {bfc} | {} |",
@@ -246,7 +262,10 @@ fn exp_e6_corollary4() {
                         if sol.side_cost == bfc { "yes" } else { "NO" }
                     );
                 }
-                Err(_) => println!("| {seed} | {} | {side:?} | - | - | (infeasible) |", g.node_count()),
+                Err(_) => println!(
+                    "| {seed} | {} | {side:?} | - | - | (infeasible) |",
+                    g.node_count()
+                ),
             }
         }
     }
@@ -267,8 +286,9 @@ fn exp_e7_good_orderings() {
         let mut costs = std::collections::BTreeSet::new();
         let tried = 8.min(n);
         for rot in 0..tried {
-            let order: Vec<NodeId> =
-                (0..n).map(|i| NodeId::from_index((i + rot * 3) % n)).collect();
+            let order: Vec<NodeId> = (0..n)
+                .map(|i| NodeId::from_index((i + rot * 3) % n))
+                .collect();
             if let Some(t) = algorithm2_with_order(g, &w.terminals, &order) {
                 costs.insert(t.node_cost());
             }
@@ -276,10 +296,16 @@ fn exp_e7_good_orderings() {
         // The exact solver scales further than the subset brute force and
         // serves as the minimum reference here.
         let inst = SteinerInstance::new(g.clone(), w.terminals.clone());
-        let min = steiner_exact(&inst).expect("block trees are connected").cost;
+        let min = steiner_exact(&inst)
+            .expect("block trees are connected")
+            .cost;
         println!("| {seed} | {n} | {tried} | {} | {min} |", costs.len());
         assert!(costs.len() == 1, "Corollary 5 violated");
-        assert_eq!(costs.iter().next().copied(), Some(min as usize), "Theorem 5 violated");
+        assert_eq!(
+            costs.iter().next().copied(),
+            Some(min as usize),
+            "Theorem 5 violated"
+        );
     }
     println!();
     println!("## E7b: Theorem 6 — the Fig. 11 case table (first central node -> failure)");
@@ -291,7 +317,9 @@ fn exp_e7_good_orderings() {
     for (first, terms) in &f.cases {
         let mut order: Vec<NodeId> = vec![*first];
         order.extend(g.nodes().filter(|v| v != first));
-        let got = eliminate_with_ordering(g, &order, terms).expect("feasible").len();
+        let got = eliminate_with_ordering(g, &order, terms)
+            .expect("feasible")
+            .len();
         let min = minimum_cover_bruteforce(g, terms).expect("feasible").len();
         let labels: Vec<&str> = terms.iter().map(|v| g.label(v)).collect();
         println!(

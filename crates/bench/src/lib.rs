@@ -37,19 +37,37 @@ impl Workload {
 /// A (6,2)-chordal block-tree instance with `blocks` blocks and `terms`
 /// random terminals (experiment E5).
 pub fn six_two_workload(blocks: usize, terms: usize, seed: u64) -> Workload {
-    let bg = random_six_two_block_tree(BlockTreeShape { blocks, max_block: 4 }, seed);
+    let bg = random_six_two_block_tree(
+        BlockTreeShape {
+            blocks,
+            max_block: 4,
+        },
+        seed,
+    );
     let terminals = random_terminals(bg.graph(), None, terms, seed ^ 0x5eed);
-    Workload { tag: format!("six_two/b{blocks}"), bipartite: bg, terminals }
+    Workload {
+        tag: format!("six_two/b{blocks}"),
+        bipartite: bg,
+        terminals,
+    }
 }
 
 /// An α-acyclic join-tree instance with `edges` relations and `terms`
 /// random attribute terminals (experiment E4).
 pub fn alpha_workload(edges: usize, terms: usize, seed: u64) -> Workload {
-    let shape = JoinTreeShape { num_edges: edges, max_shared: 3, max_fresh: 3 };
+    let shape = JoinTreeShape {
+        num_edges: edges,
+        max_shared: 3,
+        max_fresh: 3,
+    };
     let (_, bg) = random_alpha_acyclic(shape, seed);
     let v1 = bg.v1_set();
     let terminals = random_terminals(bg.graph(), Some(&v1), terms.min(v1.len()), seed ^ 0xa1fa);
-    Workload { tag: format!("alpha/e{edges}"), bipartite: bg, terminals }
+    Workload {
+        tag: format!("alpha/e{edges}"),
+        bipartite: bg,
+        terminals,
+    }
 }
 
 /// A Theorem 2 gadget for a planted X3C instance of size `q` (experiment
@@ -69,7 +87,11 @@ pub fn x3c_workload(q: usize, seed: u64) -> (Workload, Theorem2Gadget) {
 pub fn offclass_workload(n_side: usize, terms: usize, seed: u64) -> Option<Workload> {
     let bg = random_bipartite(n_side, n_side, 0.25, seed);
     let terminals = random_terminals(bg.graph(), None, terms, seed ^ 0x0ff);
-    let w = Workload { tag: format!("offclass/n{n_side}"), bipartite: bg, terminals };
+    let w = Workload {
+        tag: format!("offclass/n{n_side}"),
+        bipartite: bg,
+        terminals,
+    };
     // Only keep feasible instances.
     let inst = mcc::steiner::SteinerInstance::new(w.graph().clone(), w.terminals.clone());
     inst.is_feasible().then_some(w)

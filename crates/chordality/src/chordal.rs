@@ -1,18 +1,29 @@
 //! Chordal ((4,1)-chordal, "triangulated") graph recognition.
 
-use crate::{is_perfect_elimination_ordering, mcs_order};
-use mcc_graph::Graph;
+use crate::{is_perfect_elimination_ordering_in, lexbfs_order_in, mcs_order_in};
+use mcc_graph::{Graph, Workspace};
 
 /// `true` iff `g` is a chordal graph (every cycle of length ≥ 4 has a
 /// chord).
 ///
-/// Recognition runs maximum cardinality search and verifies that the
-/// reverse order is a perfect elimination ordering — the Tarjan–Yannakakis
-/// method the paper cites as reference \[12\].
+/// Thin wrapper over [`is_chordal_in`] with a transient workspace.
 pub fn is_chordal(g: &Graph) -> bool {
-    let mut order = mcs_order(g);
+    is_chordal_in(&mut Workspace::new(), g)
+}
+
+/// [`is_chordal`] through a workspace: recognition runs maximum
+/// cardinality search and verifies that the reverse order is a perfect
+/// elimination ordering — the Tarjan–Yannakakis method the paper cites as
+/// reference \[12\]. All scratch (ordering, weights, position table) comes
+/// from the workspace pools, so repeated classification calls stop
+/// re-allocating.
+pub fn is_chordal_in(ws: &mut Workspace, g: &Graph) -> bool {
+    let mut order = ws.take_node_buf();
+    mcs_order_in(ws, g, &mut order);
     order.reverse();
-    is_perfect_elimination_ordering(g, &order)
+    let ok = is_perfect_elimination_ordering_in(ws, g, &order);
+    ws.return_node_buf(order);
+    ok
 }
 
 /// Chordality via LexBFS (Rose–Tarjan–Lueker): the reverse of a LexBFS
@@ -22,9 +33,17 @@ pub fn is_chordal(g: &Graph) -> bool {
 /// benchmarks can compare the two classical orderings, and cross-checked
 /// against the MCS route in property tests.
 pub fn is_chordal_lexbfs(g: &Graph) -> bool {
-    let mut order = crate::lexbfs_order(g);
+    is_chordal_lexbfs_in(&mut Workspace::new(), g)
+}
+
+/// [`is_chordal_lexbfs`] through a workspace.
+pub fn is_chordal_lexbfs_in(ws: &mut Workspace, g: &Graph) -> bool {
+    let mut order = ws.take_node_buf();
+    lexbfs_order_in(ws, g, &mut order);
     order.reverse();
-    is_perfect_elimination_ordering(g, &order)
+    let ok = is_perfect_elimination_ordering_in(ws, g, &order);
+    ws.return_node_buf(order);
+    ok
 }
 
 /// Extracts a **chordless cycle of length ≥ 4** from a non-chordal
@@ -78,7 +97,16 @@ mod tests {
 
     #[test]
     fn chordless_cycle_witness_is_genuine() {
-        let pool = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3), (2, 4)];
+        let pool = [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+        ];
         let mut witnessed = 0;
         for mask in 0u32..(1 << pool.len()) {
             let edges: Vec<(usize, usize)> = pool
@@ -141,7 +169,17 @@ mod tests {
         // Fan triangulation of C6 from node 0.
         let g = graph_from_edges(
             6,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2), (0, 3), (0, 4)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 0),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+            ],
         );
         assert!(is_chordal(&g));
         assert!(is_chordal_bruteforce(&g));
@@ -157,7 +195,16 @@ mod tests {
 
     #[test]
     fn lexbfs_route_agrees_with_mcs_route() {
-        let pool = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3), (2, 4)];
+        let pool = [
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (0, 2),
+            (1, 3),
+            (2, 4),
+        ];
         for mask in 0u32..(1 << pool.len()) {
             let edges: Vec<(usize, usize)> = pool
                 .iter()

@@ -33,7 +33,8 @@ pub fn is_chordal_bipartite(g: &Graph) -> bool {
     let n = g.node_count();
     let mut adj: Vec<Vec<NodeId>> = g.nodes().map(|v| g.neighbors(v).to_vec()).collect();
     let mut edge_count = g.edge_count();
-    let has = |adj: &Vec<Vec<NodeId>>, a: NodeId, b: NodeId| adj[a.index()].binary_search(&b).is_ok();
+    let has =
+        |adj: &Vec<Vec<NodeId>>, a: NodeId, b: NodeId| adj[a.index()].binary_search(&b).is_ok();
 
     while edge_count > 0 {
         let mut eliminated = false;
@@ -104,8 +105,11 @@ pub fn drop_isolated_v2(bg: &BipartiteGraph) -> BipartiteGraph {
         b.add_node(g.label(v));
     }
     for (a, c) in g.edges() {
-        b.add_edge(NodeId::from_index(index[a.index()]), NodeId::from_index(index[c.index()]))
-            .expect("kept ids valid");
+        b.add_edge(
+            NodeId::from_index(index[a.index()]),
+            NodeId::from_index(index[c.index()]),
+        )
+        .expect("kept ids valid");
     }
     let side = keep.iter().map(|&v| bg.side(v)).collect();
     BipartiteGraph::new(b.build(), side).expect("partition preserved")
@@ -124,7 +128,10 @@ mod tests {
 
     #[test]
     fn forests_and_c4_are_chordal_bipartite() {
-        assert!(is_chordal_bipartite(&graph_from_edges(3, &[(0, 1), (1, 2)])));
+        assert!(is_chordal_bipartite(&graph_from_edges(
+            3,
+            &[(0, 1), (1, 2)]
+        )));
         // C4 has no cycle of length ≥ 6 at all.
         assert!(is_chordal_bipartite(&cycle_graph(4)));
         assert!(is_chordal_bipartite(&graph_from_edges(0, &[])));
@@ -161,8 +168,9 @@ mod tests {
     #[test]
     fn agrees_with_beta_and_definition_on_small_bipartite_graphs() {
         // Sweep subgraphs of K3,3 by edge bitmask: 2^9 graphs.
-        let pool: Vec<(usize, usize)> =
-            (0..3).flat_map(|i| (0..3).map(move |j| (i, 3 + j))).collect();
+        let pool: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, 3 + j)))
+            .collect();
         for mask in 0u32..(1 << 9) {
             let edges: Vec<(usize, usize)> = pool
                 .iter()

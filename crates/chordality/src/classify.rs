@@ -3,9 +3,9 @@
 
 use crate::{
     find_sparse_six_cycle, find_vi_conformality_violation, is_chordal_bipartite, is_forest,
-    is_six_two_chordal, is_vi_chordal, is_vi_conformal,
+    is_six_two_chordal, is_vi_chordal, is_vi_chordal_in, is_vi_conformal,
 };
-use mcc_graph::{BipartiteGraph, Side};
+use mcc_graph::{BipartiteGraph, Side, Workspace};
 use std::fmt;
 
 /// Membership of a bipartite graph in each of the paper's classes, plus
@@ -77,13 +77,43 @@ impl fmt::Display for BipartiteClassification {
         writeln!(f, "(4,1)-chordal (acyclic):        {}", yn(self.four_one))?;
         writeln!(f, "(6,2)-chordal (gamma-acyclic):  {}", yn(self.six_two))?;
         writeln!(f, "(6,1)-chordal (beta-acyclic):   {}", yn(self.six_one))?;
-        writeln!(f, "V1-chordal / V1-conformal:      {} / {}", yn(self.v1_chordal), yn(self.v1_conformal))?;
-        writeln!(f, "V2-chordal / V2-conformal:      {} / {}", yn(self.v2_chordal), yn(self.v2_conformal))?;
-        writeln!(f, "H1 alpha-acyclic:               {}", yn(self.h1_alpha_acyclic()))?;
-        writeln!(f, "H2 alpha-acyclic:               {}", yn(self.h2_alpha_acyclic()))?;
-        writeln!(f, "Steiner polynomial:             {}", yn(self.steiner_polynomial()))?;
-        writeln!(f, "pseudo-Steiner(V2) polynomial:  {}", yn(self.pseudo_steiner_v2_polynomial()))?;
-        write!(f, "pseudo-Steiner(V1) polynomial:  {}", yn(self.pseudo_steiner_v1_polynomial()))
+        writeln!(
+            f,
+            "V1-chordal / V1-conformal:      {} / {}",
+            yn(self.v1_chordal),
+            yn(self.v1_conformal)
+        )?;
+        writeln!(
+            f,
+            "V2-chordal / V2-conformal:      {} / {}",
+            yn(self.v2_chordal),
+            yn(self.v2_conformal)
+        )?;
+        writeln!(
+            f,
+            "H1 alpha-acyclic:               {}",
+            yn(self.h1_alpha_acyclic())
+        )?;
+        writeln!(
+            f,
+            "H2 alpha-acyclic:               {}",
+            yn(self.h2_alpha_acyclic())
+        )?;
+        writeln!(
+            f,
+            "Steiner polynomial:             {}",
+            yn(self.steiner_polynomial())
+        )?;
+        writeln!(
+            f,
+            "pseudo-Steiner(V2) polynomial:  {}",
+            yn(self.pseudo_steiner_v2_polynomial())
+        )?;
+        write!(
+            f,
+            "pseudo-Steiner(V1) polynomial:  {}",
+            yn(self.pseudo_steiner_v1_polynomial())
+        )
     }
 }
 
@@ -105,13 +135,20 @@ impl fmt::Display for BipartiteClassification {
 /// assert!(class.pseudo_steiner_v2_polynomial()); // so does Theorem 4
 /// ```
 pub fn classify_bipartite(bg: &BipartiteGraph) -> BipartiteClassification {
+    classify_bipartite_in(&mut Workspace::new(), bg)
+}
+
+/// [`classify_bipartite`] through a workspace, so a long-lived caller
+/// (e.g. the `mcc-core` solver, which classifies before every dispatch)
+/// reuses one set of recognizer scratch buffers across instances.
+pub fn classify_bipartite_in(ws: &mut Workspace, bg: &BipartiteGraph) -> BipartiteClassification {
     BipartiteClassification {
         four_one: is_forest(bg.graph()),
         six_two: is_six_two_chordal(bg),
         six_one: is_chordal_bipartite(bg.graph()),
-        v1_chordal: is_vi_chordal(bg, Side::V1),
+        v1_chordal: is_vi_chordal_in(ws, bg, Side::V1),
         v1_conformal: is_vi_conformal(bg, Side::V1),
-        v2_chordal: is_vi_chordal(bg, Side::V2),
+        v2_chordal: is_vi_chordal_in(ws, bg, Side::V2),
         v2_conformal: is_vi_conformal(bg, Side::V2),
     }
 }
@@ -125,7 +162,11 @@ pub fn explain_classification(bg: &BipartiteGraph) -> String {
     let c = classify_bipartite(bg);
     let g = bg.graph();
     let labels = |nodes: &[mcc_graph::NodeId]| -> String {
-        nodes.iter().map(|&v| g.label(v)).collect::<Vec<_>>().join(", ")
+        nodes
+            .iter()
+            .map(|&v| g.label(v))
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     let mut out = String::new();
     if c.six_two {
@@ -208,7 +249,10 @@ mod tests {
 
     #[test]
     fn c6_fails_every_chordality_but_keeps_vacuous_vi() {
-        let c = classify_bipartite(&bg(6, &(0..6).map(|i| (i, (i + 1) % 6)).collect::<Vec<_>>()));
+        let c = classify_bipartite(&bg(
+            6,
+            &(0..6).map(|i| (i, (i + 1) % 6)).collect::<Vec<_>>(),
+        ));
         assert!(!c.four_one && !c.six_two && !c.six_one);
         // No cycle of length ≥ 8 exists, so Vi-chordality is vacuous; but
         // conformity fails (three mutually-distance-2 nodes, no witness).

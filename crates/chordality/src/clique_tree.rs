@@ -78,7 +78,8 @@ pub fn clique_tree(g: &Graph) -> Option<(JoinTree, Vec<NodeSet>)> {
         b.add_node(g.label(v));
     }
     for (i, c) in cliques.iter().enumerate() {
-        b.add_edge(format!("K{i}"), c.iter()).expect("cliques nonempty");
+        b.add_edge(format!("K{i}"), c.iter())
+            .expect("cliques nonempty");
     }
     let h = b.build();
     let jt = running_intersection_ordering(&h)
@@ -101,7 +102,10 @@ mod tests {
     #[test]
     fn matches_bron_kerbosch_on_chordal_examples() {
         for (n, edges) in [
-            (4usize, vec![(0usize, 1usize), (1, 2), (0, 2), (1, 3), (2, 3)]),
+            (
+                4usize,
+                vec![(0usize, 1usize), (1, 2), (0, 2), (1, 3), (2, 3)],
+            ),
             (5, vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)]),
             (6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]),
             (4, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]),

@@ -9,51 +9,103 @@
 //! alternative and because downstream modules (and the benchmark suite's
 //! recognizer comparison) want it.
 
-use mcc_graph::{Graph, NodeId};
+use mcc_graph::{Graph, NodeId, Workspace};
 
 /// Computes a LexBFS ordering of all nodes of `g` (visit order).
 ///
-/// Uses the partition-refinement formulation: maintain an ordered list of
-/// classes; repeatedly take the first vertex of the first class, output
-/// it, and split every class into (neighbors, non-neighbors), keeping
-/// neighbors first. `O(n + m)` amortized with the doubly-linked
-/// implementation; this implementation is `O(n + m·k)` with `Vec` splicing
-/// (k = number of classes touched), which is plenty for this workspace and
-/// considerably easier to audit.
+/// Thin wrapper over [`lexbfs_order_in`] with a transient workspace.
 pub fn lexbfs_order(g: &Graph) -> Vec<NodeId> {
-    let n = g.node_count();
-    let mut order = Vec::with_capacity(n);
-    // Partition as an ordered list of buckets.
-    let mut buckets: Vec<Vec<NodeId>> = if n == 0 {
-        Vec::new()
-    } else {
-        vec![g.nodes().collect()]
-    };
-    let mut visited = vec![false; n];
-    while let Some(first) = buckets.first_mut() {
-        let v = first.remove(0);
-        if first.is_empty() {
-            buckets.remove(0);
-        }
-        visited[v.index()] = true;
-        order.push(v);
-        // Split each bucket into (neighbors of v, the rest), preserving
-        // internal order, neighbors first.
-        let mut next: Vec<Vec<NodeId>> = Vec::with_capacity(buckets.len() * 2);
-        for bucket in buckets.drain(..) {
-            let (nbrs, rest): (Vec<NodeId>, Vec<NodeId>) =
-                bucket.into_iter().partition(|&u| g.has_edge(v, u));
-            if !nbrs.is_empty() {
-                next.push(nbrs);
-            }
-            if !rest.is_empty() {
-                next.push(rest);
-            }
-        }
-        buckets = next;
-    }
-    debug_assert_eq!(order.len(), n);
+    let mut order = Vec::new();
+    lexbfs_order_in(&mut Workspace::new(), g, &mut order);
     order
+}
+
+/// [`lexbfs_order`] through a workspace, written into `out` (cleared
+/// first).
+///
+/// Uses interval-based partition refinement over one flat node sequence:
+/// the partition's classes are contiguous intervals of `seq`, and visiting
+/// `v` moves each unvisited neighbor to the front of its interval, then
+/// splits off the moved prefixes as new (earlier) classes. Each visit
+/// costs `O(deg v)`, for `O(n + m)` total, and every table comes from the
+/// workspace pools, so repeated calls stop re-allocating. Tie-breaking
+/// within a class is arbitrary (as LexBFS permits), so orders may differ
+/// from other implementations while still being valid LexBFS orders.
+pub fn lexbfs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
+    let n = g.node_count();
+    out.clear();
+    out.reserve(n);
+    if n == 0 {
+        return;
+    }
+    // seq: the node sequence; pos: inverse of seq; cell_of: which class
+    // each node currently belongs to. Classes are intervals
+    // `[cell_start[c], cell_end[c])` of seq, ordered by position (class
+    // ids carry no order).
+    let mut seq = ws.take_node_buf();
+    seq.extend(g.nodes());
+    let mut pos = ws.take_usize_buf();
+    pos.extend(0..n);
+    let mut cell_of = ws.take_usize_buf();
+    cell_of.resize(n, 0);
+    let mut cell_start = ws.take_usize_buf();
+    let mut cell_end = ws.take_usize_buf();
+    let mut moved = ws.take_usize_buf();
+    cell_start.push(0);
+    cell_end.push(n);
+    moved.push(0);
+    let mut touched = ws.take_usize_buf();
+
+    for i in 0..n {
+        let v = seq[i];
+        out.push(v);
+        // v is the first unvisited node, hence the head of its class.
+        let cv = cell_of[v.index()];
+        debug_assert_eq!(cell_start[cv], i);
+        cell_start[cv] = i + 1;
+        // Pull each unvisited neighbor to the front of its class.
+        touched.clear();
+        for &u in g.neighbors(v) {
+            if pos[u.index()] <= i {
+                continue; // already output
+            }
+            let c = cell_of[u.index()];
+            if moved[c] == 0 {
+                touched.push(c);
+            }
+            let target = cell_start[c] + moved[c];
+            let pu = pos[u.index()];
+            let w = seq[target];
+            seq.swap(pu, target);
+            pos[u.index()] = target;
+            pos[w.index()] = pu;
+            moved[c] += 1;
+        }
+        // Split each touched class: the moved prefix becomes a new class
+        // positioned just before the remainder.
+        for &c in &touched {
+            let m = std::mem::take(&mut moved[c]);
+            if m == cell_end[c] - cell_start[c] {
+                continue; // every member was a neighbor: no split needed
+            }
+            let nc = cell_start.len();
+            cell_start.push(cell_start[c]);
+            cell_end.push(cell_start[c] + m);
+            for idx in cell_start[c]..cell_start[c] + m {
+                cell_of[seq[idx].index()] = nc;
+            }
+            cell_start[c] += m;
+            moved.push(0);
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    ws.return_node_buf(seq);
+    ws.return_usize_buf(pos);
+    ws.return_usize_buf(cell_of);
+    ws.return_usize_buf(cell_start);
+    ws.return_usize_buf(cell_end);
+    ws.return_usize_buf(moved);
+    ws.return_usize_buf(touched);
 }
 
 #[cfg(test)]

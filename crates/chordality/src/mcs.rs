@@ -1,6 +1,6 @@
 //! Maximum cardinality search on graphs (Tarjan–Yannakakis).
 
-use mcc_graph::{Graph, NodeId};
+use mcc_graph::{Graph, NodeId, Workspace};
 
 /// Computes a maximum-cardinality-search ordering: repeatedly select an
 /// unvisited node adjacent to the largest number of visited nodes (ties
@@ -8,25 +8,41 @@ use mcc_graph::{Graph, NodeId};
 /// a perfect elimination ordering (Tarjan & Yannakakis, reference \[12\] of
 /// the paper).
 ///
+/// Thin wrapper over [`mcs_order_in`] with a transient workspace.
+pub fn mcs_order(g: &Graph) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    mcs_order_in(&mut Workspace::new(), g, &mut order);
+    order
+}
+
+/// [`mcs_order`] through a workspace: visited marks use the epoch array
+/// and the weight table and buckets come from the workspace pools, so
+/// repeated recognizer calls stop re-allocating. The ordering is written
+/// into `out` (cleared first).
+///
 /// This implementation keeps per-node weights and scans buckets, giving
 /// `O(n + m)` up to the bucket bookkeeping.
-pub fn mcs_order(g: &Graph) -> Vec<NodeId> {
+pub fn mcs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
     let n = g.node_count();
-    let mut weight = vec![0usize; n];
-    let mut visited = vec![false; n];
+    out.clear();
+    out.reserve(n);
+    let mut weight = ws.take_usize_buf();
+    weight.resize(n, 0);
     // buckets[w] = nodes with current weight w (lazily cleaned).
-    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new()];
+    let mut buckets = ws.take_bucket_list();
+    if buckets.is_empty() {
+        buckets.push(Vec::new());
+    }
     buckets[0].extend(g.nodes());
+    ws.begin_visit(n);
     let mut max_weight = 0usize;
-    let mut order = Vec::with_capacity(n);
-    while order.len() < n {
+    while out.len() < n {
         // Find the highest non-empty bucket with an unvisited node; ties
         // break toward the smallest id for determinism.
         let v = loop {
             // Purge stale entries (visited, or promoted to a higher
             // bucket), then take the minimum survivor.
-            buckets[max_weight]
-                .retain(|c| !visited[c.index()] && weight[c.index()] == max_weight);
+            buckets[max_weight].retain(|c| !ws.is_marked(*c) && weight[c.index()] == max_weight);
             match buckets[max_weight].iter().copied().min() {
                 Some(v) => {
                     buckets[max_weight].retain(|&c| c != v);
@@ -38,10 +54,10 @@ pub fn mcs_order(g: &Graph) -> Vec<NodeId> {
                 }
             }
         };
-        visited[v.index()] = true;
-        order.push(v);
+        ws.mark(v);
+        out.push(v);
         for &u in g.neighbors(v) {
-            if !visited[u.index()] {
+            if !ws.is_marked(u) {
                 weight[u.index()] += 1;
                 let w = weight[u.index()];
                 if w >= buckets.len() {
@@ -54,7 +70,8 @@ pub fn mcs_order(g: &Graph) -> Vec<NodeId> {
             }
         }
     }
-    order
+    ws.return_usize_buf(weight);
+    ws.return_bucket_list(buckets);
 }
 
 #[cfg(test)]

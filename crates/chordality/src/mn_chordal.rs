@@ -1,6 +1,8 @@
 //! The literal Definition 4 predicate, and the (4,1)-bipartite case.
 
-use mcc_graph::{chords_of_cycle, connected_components, enumerate_cycles, CycleLimits, Graph, NodeSet};
+use mcc_graph::{
+    chords_of_cycle, connected_components, enumerate_cycles, CycleLimits, Graph, NodeSet,
+};
 
 /// Definitional `(m, n)`-chordality: every cycle of length ≥ `m` has at
 /// least `n` chords.
@@ -65,7 +67,7 @@ mod tests {
         let c6 = graph_from_edges(6, &c(6));
         assert!(!is_mn_chordal_bruteforce(&c6, 6, 1, lim));
         assert!(is_mn_chordal_bruteforce(&c6, 8, 1, lim)); // vacuous
-        // C6 + one chord: (6,1) holds, (6,2) fails.
+                                                           // C6 + one chord: (6,1) holds, (6,2) fails.
         let mut e = c(6);
         e.push((0, 3));
         let g = graph_from_edges(6, &e);
@@ -77,6 +79,14 @@ mod tests {
     #[should_panic(expected = "cap hit")]
     fn cap_panics_rather_than_lying() {
         let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
-        let _ = is_mn_chordal_bruteforce(&g, 4, 1, CycleLimits { max_len: 10, max_cycles: 2 });
+        let _ = is_mn_chordal_bruteforce(
+            &g,
+            4,
+            1,
+            CycleLimits {
+                max_len: 10,
+                max_cycles: 2,
+            },
+        );
     }
 }

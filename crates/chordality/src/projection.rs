@@ -47,7 +47,11 @@ mod tests {
     #[test]
     fn projection_connects_nodes_sharing_a_neighbor() {
         // V1 = {a, b, c}, V2 = {x, y}; x ~ a,b ; y ~ b,c.
-        let bg = bipartite_from_lists(&["a", "b", "c"], &["x", "y"], &[(0, 0), (1, 0), (1, 1), (2, 1)]);
+        let bg = bipartite_from_lists(
+            &["a", "b", "c"],
+            &["x", "y"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1)],
+        );
         let (p, map) = project_onto(&bg, Side::V1);
         assert_eq!(p.node_count(), 3);
         assert_eq!(p.edge_count(), 2);

@@ -74,10 +74,10 @@ pub fn find_sparse_six_cycle(bg: &BipartiteGraph) -> Option<Vec<mcc_graph::NodeI
                 let a = c12.difference(&c123); // connectors missing the x3 chord
                 let b = c23.difference(&c123); // … missing the x1 chord
                 let d = c31.difference(&c123); // … missing the x2 chord
-                // A 6-cycle with ≤ 1 chord picks two private connectors
-                // from different pair-sets (the third connector is then
-                // automatically distinct from both); the remaining slot
-                // takes any connector of its pair.
+                                               // A 6-cycle with ≤ 1 chord picks two private connectors
+                                               // from different pair-sets (the third connector is then
+                                               // automatically distinct from both); the remaining slot
+                                               // takes any connector of its pair.
                 let (x1, x2, x3) = (v1[i], v1[j], v1[k]);
                 if let (Some(y12), Some(y23)) = (a.first(), b.first()) {
                     let y31 = c31.first().expect("checked nonempty");
@@ -187,8 +187,9 @@ mod tests {
 
     #[test]
     fn matches_definition_on_k33_subgraphs() {
-        let pool: Vec<(usize, usize)> =
-            (0..3).flat_map(|i| (0..3).map(move |j| (i, 3 + j))).collect();
+        let pool: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, 3 + j)))
+            .collect();
         for mask in 0u32..(1 << 9) {
             let edges: Vec<(usize, usize)> = pool
                 .iter()
@@ -210,8 +211,9 @@ mod tests {
     fn sparse_cycle_witness_is_a_real_sparse_cycle() {
         // Sweep K3,3 subgraphs; whenever a witness is produced it must be
         // a genuine 6-cycle with at most one chord.
-        let pool: Vec<(usize, usize)> =
-            (0..3).flat_map(|i| (0..3).map(move |j| (i, 3 + j))).collect();
+        let pool: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, 3 + j)))
+            .collect();
         let mut witnessed = 0;
         for mask in 0u32..(1 << 9) {
             let edges: Vec<(usize, usize)> = pool
@@ -244,8 +246,9 @@ mod tests {
 
     #[test]
     fn blockwise_agrees_with_direct_on_k33_subgraphs() {
-        let pool: Vec<(usize, usize)> =
-            (0..3).flat_map(|i| (0..3).map(move |j| (i, 3 + j))).collect();
+        let pool: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, 3 + j)))
+            .collect();
         for mask in 0u32..(1 << 9) {
             let edges: Vec<(usize, usize)> = pool
                 .iter()
@@ -267,7 +270,17 @@ mod tests {
         // Two C4 blocks glued at a node, plus a pendant: (6,2) blockwise.
         let bg = bipartite(
             8,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (2, 4), (4, 5), (5, 6), (6, 2), (6, 7)],
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+                (6, 2),
+                (6, 7),
+            ],
         );
         assert!(is_six_two_chordal_blockwise(&bg));
         assert!(is_six_two_chordal(&bg));

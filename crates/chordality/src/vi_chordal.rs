@@ -8,16 +8,23 @@
 //! `G` onto `V_{3-i}` (the primal graph of the hypergraph whose edges
 //! come from `Vᵢ`) is chordal.
 
-use crate::{is_chordal, project_onto};
-use mcc_graph::{
-    chords_of_cycle, enumerate_cycles, BipartiteGraph, CycleLimits, Side,
-};
+use crate::{is_chordal_in, project_onto};
+use mcc_graph::{chords_of_cycle, enumerate_cycles, BipartiteGraph, CycleLimits, Side, Workspace};
 
 /// Production Vᵢ-chordality test: chordality of the projection of `bg`
 /// onto the side opposite the witness side.
+///
+/// Thin wrapper over [`is_vi_chordal_in`] with a transient workspace.
 pub fn is_vi_chordal(bg: &BipartiteGraph, witness_side: Side) -> bool {
+    is_vi_chordal_in(&mut Workspace::new(), bg, witness_side)
+}
+
+/// [`is_vi_chordal`] through a workspace. The projection itself still
+/// builds a fresh [`mcc_graph::Graph`] (it is a returned object, not
+/// scratch), but the chordality test on it runs allocation-free.
+pub fn is_vi_chordal_in(ws: &mut Workspace, bg: &BipartiteGraph, witness_side: Side) -> bool {
     let (proj, _) = project_onto(bg, witness_side.opposite());
-    is_chordal(&proj)
+    is_chordal_in(ws, &proj)
 }
 
 /// Definitional Vᵢ-chordality: enumerate cycles of length ≥ 8 and look
@@ -41,13 +48,12 @@ pub fn is_vi_chordal_bruteforce(
         // cycle-distance ≥ 4. (Such cycle nodes necessarily lie on the
         // opposite side; a witness may itself lie on the cycle.)
         bg.side_nodes(witness_side).any(|w| {
-            let on_cycle: Vec<usize> = (0..c.len())
-                .filter(|&i| g.has_edge(w, c.0[i]))
-                .collect();
-            on_cycle
-                .iter()
-                .enumerate()
-                .any(|(a, &i)| on_cycle[a + 1..].iter().any(|&j| c.cycle_distance(i, j) >= 4))
+            let on_cycle: Vec<usize> = (0..c.len()).filter(|&i| g.has_edge(w, c.0[i])).collect();
+            on_cycle.iter().enumerate().any(|(a, &i)| {
+                on_cycle[a + 1..]
+                    .iter()
+                    .any(|&j| c.cycle_distance(i, j) >= 4)
+            })
         })
     })
 }
@@ -104,11 +110,18 @@ mod tests {
             &["x1", "x2", "x3", "x4"],
             &["y1", "y2", "y3", "y4", "y0"],
             &[
-                (0, 0), (1, 0), // x1-y1-x2
-                (1, 1), (2, 1), // x2-y2-x3
-                (2, 2), (3, 2), // x3-y3-x4
-                (3, 3), (0, 3), // x4-y4-x1
-                (0, 4), (1, 4), (2, 4), (3, 4), // hub
+                (0, 0),
+                (1, 0), // x1-y1-x2
+                (1, 1),
+                (2, 1), // x2-y2-x3
+                (2, 2),
+                (3, 2), // x3-y3-x4
+                (3, 3),
+                (0, 3), // x4-y4-x1
+                (0, 4),
+                (1, 4),
+                (2, 4),
+                (3, 4), // hub
             ],
         );
         assert!(is_vi_chordal(&bg, Side::V2));

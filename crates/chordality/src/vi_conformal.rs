@@ -56,7 +56,9 @@ pub fn find_vi_conformality_violation(
         .collect();
     Some(mcc_graph::NodeSet::from_nodes(
         bg.graph().node_count(),
-        violation.iter().map(|hv| kept[node_map[hv.index()].index()]),
+        violation
+            .iter()
+            .map(|hv| kept[node_map[hv.index()].index()]),
     ))
 }
 
@@ -99,7 +101,17 @@ mod tests {
         let bg2 = bipartite_from_lists(
             &["x1", "x2", "x3"],
             &["y12", "y23", "y31", "hub"],
-            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2), (0, 3), (1, 3), (2, 3)],
+            &[
+                (0, 0),
+                (1, 0),
+                (1, 1),
+                (2, 1),
+                (2, 2),
+                (0, 2),
+                (0, 3),
+                (1, 3),
+                (2, 3),
+            ],
         );
         assert!(is_vi_conformal(&bg2, Side::V2));
         assert!(is_vi_conformal_bruteforce(&bg2, Side::V2));
@@ -158,10 +170,7 @@ mod tests {
         let members: Vec<_> = w.to_vec();
         for (i, &a) in members.iter().enumerate() {
             for &b in &members[i + 1..] {
-                let share = g
-                    .neighbors(a)
-                    .iter()
-                    .any(|&y| g.has_edge(b, y));
+                let share = g.neighbors(a).iter().any(|&y| g.has_edge(b, y));
                 assert!(share, "members must be at mutual distance 2");
             }
         }
@@ -177,8 +186,9 @@ mod tests {
 
     #[test]
     fn production_matches_definition_on_k33_subgraphs() {
-        let pool: Vec<(usize, usize)> =
-            (0..3).flat_map(|i| (0..3).map(move |j| (i, 3 + j))).collect();
+        let pool: Vec<(usize, usize)> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, 3 + j)))
+            .collect();
         for mask in 0u32..(1 << 9) {
             let edges: Vec<(usize, usize)> = pool
                 .iter()

@@ -50,7 +50,10 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().map(String::as_str).ok_or("missing subcommand")?;
+    let cmd = args
+        .first()
+        .map(String::as_str)
+        .ok_or("missing subcommand")?;
     match cmd {
         "classify" => {
             let schema = load(args.get(1).ok_or("missing schema file")?)?;
@@ -114,8 +117,7 @@ fn connect(schema: &RelationalSchema, objects: &[String]) -> Result<(), String> 
         .filter(|o| schema.attributes.contains(o))
         .cloned()
         .collect();
-    let plan = join_plan(schema, engine.graph(), &it, &projection)
-        .map_err(|e| e.to_string())?;
+    let plan = join_plan(schema, engine.graph(), &it, &projection).map_err(|e| e.to_string())?;
     println!("  plan:       {plan}");
     Ok(())
 }

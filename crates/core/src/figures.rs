@@ -10,9 +10,7 @@
 //! proof of Lemma 3 and carries no standalone instance.
 
 use mcc_datamodel::ErSchema;
-use mcc_graph::{
-    bipartite::bipartite_from_lists, BipartiteGraph, NodeId, NodeSet,
-};
+use mcc_graph::{bipartite::bipartite_from_lists, BipartiteGraph, NodeId, NodeSet};
 use mcc_hypergraph::Hypergraph;
 use mcc_reductions::{CspcGadget, Theorem2Gadget, X3cInstance};
 
@@ -44,10 +42,18 @@ pub fn fig2() -> Fig2 {
         &["A", "B", "C", "D", "E", "F"],
         &["1", "2", "3", "4"],
         &[
-            (0, 0), (1, 0), (3, 0), // 1 = {A, B, D}
-            (1, 1), (2, 1), (4, 1), // 2 = {B, C, E}
-            (0, 2), (2, 2), (5, 2), // 3 = {A, C, F}
-            (0, 3), (1, 3), (2, 3), // 4 = {A, B, C}
+            (0, 0),
+            (1, 0),
+            (3, 0), // 1 = {A, B, D}
+            (1, 1),
+            (2, 1),
+            (4, 1), // 2 = {B, C, E}
+            (0, 2),
+            (2, 2),
+            (5, 2), // 3 = {A, C, F}
+            (0, 3),
+            (1, 3),
+            (2, 3), // 4 = {A, B, C}
         ],
     );
     let (h1, _, _) = mcc_hypergraph::h1_of_bipartite(&g).expect("no isolated V2 nodes");
@@ -80,7 +86,16 @@ pub fn fig3() -> Fig3 {
     let b = bipartite_from_lists(
         &["A", "B", "C"],
         &["1", "2", "3"],
-        &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2), (0, 1), (2, 0)],
+        &[
+            (0, 0),
+            (1, 0),
+            (1, 1),
+            (2, 1),
+            (2, 2),
+            (0, 2),
+            (0, 1),
+            (2, 0),
+        ],
     );
     // (c): same 6-cycle with the single chord A-2.
     let c = bipartite_from_lists(
@@ -107,9 +122,15 @@ pub struct Fig4 {
 pub fn fig4() -> Fig4 {
     let f3 = fig3();
     let h = |bg: &BipartiteGraph| {
-        mcc_hypergraph::h1_of_bipartite(bg).expect("no isolated V2 nodes in fig3").0
+        mcc_hypergraph::h1_of_bipartite(bg)
+            .expect("no isolated V2 nodes in fig3")
+            .0
     };
-    Fig4 { berge: h(&f3.a), gamma: h(&f3.b), beta: h(&f3.c) }
+    Fig4 {
+        berge: h(&f3.a),
+        gamma: h(&f3.b),
+        beta: h(&f3.c),
+    }
 }
 
 /// Fig. 5: a bipartite graph that is V₁-chordal, V₁-conformal **and**
@@ -125,11 +146,18 @@ pub fn fig5() -> BipartiteGraph {
         &["x1", "x2", "x3", "h1"],
         &["y1", "y2", "y3", "h2"],
         &[
-            (0, 0), (1, 0), // x1-y1-x2
-            (1, 1), (2, 1), // x2-y2-x3
-            (2, 2), (0, 2), // x3-y3-x1
-            (0, 3), (1, 3), (2, 3), // h2 ~ x1,x2,x3
-            (3, 0), (3, 1), (3, 2), // h1 ~ y1,y2,y3
+            (0, 0),
+            (1, 0), // x1-y1-x2
+            (1, 1),
+            (2, 1), // x2-y2-x3
+            (2, 2),
+            (0, 2), // x3-y3-x1
+            (0, 3),
+            (1, 3),
+            (2, 3), // h2 ~ x1,x2,x3
+            (3, 0),
+            (3, 1),
+            (3, 2), // h1 ~ y1,y2,y3
             (3, 3), // h1 ~ h2
         ],
     )
@@ -191,7 +219,9 @@ pub fn fig8() -> Fig8 {
     let set = |labels: &[&str]| {
         NodeSet::from_nodes(
             g.graph().node_count(),
-            labels.iter().map(|l| g.graph().node_by_label(l).expect("fig8 label")),
+            labels
+                .iter()
+                .map(|l| g.graph().node_by_label(l).expect("fig8 label")),
         )
     };
     Fig8 {
@@ -269,18 +299,27 @@ pub fn fig11() -> Fig11 {
         &["A", "B", "C", "D", "E", "F"],
         &["1", "2", "3", "4", "5", "6"],
         &[
-            (0, 0), (0, 1), (0, 2), (0, 3), // A ~ 1,2,3,4
-            (1, 0), (1, 1), (1, 4), (1, 5), // B ~ 1,2,5,6
-            (2, 0), (2, 2), // C ~ 1,3
-            (3, 1), (3, 3), // D ~ 2,4
-            (4, 0), (4, 4), // E ~ 1,5
-            (5, 1), (5, 5), // F ~ 2,6
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (0, 3), // A ~ 1,2,3,4
+            (1, 0),
+            (1, 1),
+            (1, 4),
+            (1, 5), // B ~ 1,2,5,6
+            (2, 0),
+            (2, 2), // C ~ 1,3
+            (3, 1),
+            (3, 3), // D ~ 2,4
+            (4, 0),
+            (4, 4), // E ~ 1,5
+            (5, 1),
+            (5, 5), // F ~ 2,6
         ],
     );
     let n = |l: &str| g.graph().node_by_label(l).expect("fig11 label");
-    let set = |labels: &[&str]| {
-        NodeSet::from_nodes(g.graph().node_count(), labels.iter().map(|l| n(l)))
-    };
+    let set =
+        |labels: &[&str]| NodeSet::from_nodes(g.graph().node_count(), labels.iter().map(|l| n(l)));
     Fig11 {
         cases: vec![
             (n("A"), set(&["3", "C", "4", "D"])),
@@ -354,8 +393,16 @@ mod tests {
         let min = minimum_cover_bruteforce(g, &f.terminals).expect("feasible");
         assert_eq!(min.len(), f.minimum.len());
         assert!(mcc_graph::is_cover(g, &f.minimum, &f.terminals));
-        assert!(f.nonredundant.len() > f.minimum.len(), "nonredundant ≠ minimum here");
-        assert!(is_side_nonredundant_cover(g, &f.v1_nonredundant, &f.terminals, &v1));
+        assert!(
+            f.nonredundant.len() > f.minimum.len(),
+            "nonredundant ≠ minimum here"
+        );
+        assert!(is_side_nonredundant_cover(
+            g,
+            &f.v1_nonredundant,
+            &f.terminals,
+            &v1
+        ));
         let v1_min = side_minimum_cover_bruteforce(g, &f.terminals, &v1).expect("feasible");
         assert_eq!(
             v1_min.intersection(&v1).len(),

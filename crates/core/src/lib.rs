@@ -56,7 +56,7 @@ pub use mcc_steiner as steiner;
 pub mod figures;
 pub mod solver;
 
-pub use solver::{Solution, Solver, SolverError, SteinerStrategy};
+pub use solver::{Solution, SolveStats, Solver, SolverConfig, SolverError, SteinerStrategy};
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -66,5 +66,5 @@ pub mod prelude {
     pub use mcc_hypergraph::{AcyclicityDegree, Hypergraph};
     pub use mcc_steiner::{SteinerInstance, SteinerTree};
 
-    pub use crate::solver::{Solution, Solver, SteinerStrategy};
+    pub use crate::solver::{Solution, SolveStats, Solver, SteinerStrategy};
 }

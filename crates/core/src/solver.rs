@@ -1,12 +1,13 @@
 //! One-call Steiner/pseudo-Steiner solving with automatic algorithm
 //! selection along the paper's complexity map.
 
-use mcc_chordality::{classify_bipartite, BipartiteClassification};
-use mcc_graph::{BipartiteGraph, NodeSet, Side};
+use mcc_chordality::{classify_bipartite_in, BipartiteClassification};
+use mcc_graph::{BipartiteGraph, NodeSet, Side, Workspace, WorkspaceStats};
 use mcc_steiner::{
-    algorithm1, algorithm2, steiner_exact, steiner_exact_node_weighted, steiner_kmb,
-    SteinerInstance, SteinerTree,
+    algorithm1_in, algorithm2_with_order_in, steiner_exact, steiner_exact_node_weighted,
+    steiner_kmb, SteinerInstance, SteinerTree,
 };
+use std::cell::RefCell;
 use std::fmt;
 
 /// Which algorithm answered, and with what guarantee.
@@ -32,6 +33,32 @@ impl SteinerStrategy {
     }
 }
 
+/// Workspace traffic observed during one solve (deltas of the solver's
+/// long-lived [`Workspace`] counters, plus its current scratch
+/// footprint). The polynomial routes (Algorithms 1 and 2) account all
+/// their traversals here; the exact and heuristic fallbacks run outside
+/// the workspace, so their deltas are zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// BFS sweeps run through the solver's workspace during this solve.
+    pub bfs_runs: u64,
+    /// Elimination-candidate tests performed during this solve.
+    pub elimination_steps: u64,
+    /// Peak scratch footprint of the workspace, in bytes (buffers only
+    /// grow, so the value after a solve is the peak so far).
+    pub scratch_bytes: usize,
+}
+
+impl fmt::Display for SolveStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} BFS runs, {} elimination steps, {} scratch bytes",
+            self.bfs_runs, self.elimination_steps, self.scratch_bytes
+        )
+    }
+}
+
 /// A solved connection.
 #[derive(Debug, Clone)]
 pub struct Solution {
@@ -42,6 +69,8 @@ pub struct Solution {
     /// The minimized cost: total nodes for Steiner solves, side nodes for
     /// pseudo-Steiner solves.
     pub cost: usize,
+    /// Workspace traffic for this solve (see [`SolveStats`]).
+    pub stats: SolveStats,
 }
 
 /// Solver failures.
@@ -59,7 +88,10 @@ impl fmt::Display for SolverError {
         match self {
             SolverError::Disconnected => write!(f, "terminals cannot be connected"),
             SolverError::TooLargeForExact => {
-                write!(f, "instance too large for exact solving and heuristics disabled")
+                write!(
+                    f,
+                    "instance too large for exact solving and heuristics disabled"
+                )
             }
         }
     }
@@ -78,17 +110,28 @@ pub struct SolverConfig {
 
 impl Default for SolverConfig {
     fn default() -> Self {
-        SolverConfig { max_exact_terminals: 12, allow_heuristic: true }
+        SolverConfig {
+            max_exact_terminals: 12,
+            allow_heuristic: true,
+        }
     }
 }
 
 /// A prepared solver: classifies the graph once, then answers queries by
 /// the strongest applicable algorithm.
+///
+/// The solver owns a [`Workspace`] (behind a `RefCell`, so the query
+/// methods can stay `&self`): classification and every polynomial-route
+/// solve share one set of scratch buffers, and repeated queries against
+/// the same solver perform no steady-state allocation inside the
+/// elimination loops. Per-solve traffic is reported as
+/// [`Solution::stats`].
 #[derive(Debug, Clone)]
 pub struct Solver {
     bg: BipartiteGraph,
     classification: BipartiteClassification,
     config: SolverConfig,
+    ws: RefCell<Workspace>,
 }
 
 impl Solver {
@@ -99,8 +142,14 @@ impl Solver {
 
     /// Classifies `bg` with explicit configuration.
     pub fn with_config(bg: BipartiteGraph, config: SolverConfig) -> Self {
-        let classification = classify_bipartite(&bg);
-        Solver { bg, classification, config }
+        let mut ws = Workspace::with_capacity(bg.graph().node_count());
+        let classification = classify_bipartite_in(&mut ws, &bg);
+        Solver {
+            bg,
+            classification,
+            config,
+            ws: RefCell::new(ws),
+        }
     }
 
     /// The classification computed at construction.
@@ -119,20 +168,43 @@ impl Solver {
     pub fn solve_steiner(&self, terminals: &NodeSet) -> Result<Solution, SolverError> {
         let g = self.bg.graph();
         if self.classification.six_two {
-            let tree = algorithm2(g, terminals).ok_or(SolverError::Disconnected)?;
+            let mut ws = self.ws.borrow_mut();
+            let before = ws.stats;
+            let mut order = ws.take_node_buf();
+            order.extend(g.nodes());
+            let tree = algorithm2_with_order_in(&mut ws, g, terminals, &order);
+            ws.return_node_buf(order);
+            let tree = tree.ok_or(SolverError::Disconnected)?;
             let cost = tree.node_cost();
-            return Ok(Solution { tree, strategy: SteinerStrategy::Algorithm2, cost });
+            let stats = Self::stats_since(&ws, before);
+            return Ok(Solution {
+                tree,
+                strategy: SteinerStrategy::Algorithm2,
+                cost,
+                stats,
+            });
         }
+        let stats = self.idle_stats();
         if terminals.len() <= self.config.max_exact_terminals {
             let sol = steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone()))
                 .ok_or(SolverError::Disconnected)?;
             let cost = sol.tree.node_cost();
-            return Ok(Solution { tree: sol.tree, strategy: SteinerStrategy::Exact, cost });
+            return Ok(Solution {
+                tree: sol.tree,
+                strategy: SteinerStrategy::Exact,
+                cost,
+                stats,
+            });
         }
         if self.config.allow_heuristic {
             let tree = steiner_kmb(g, terminals).ok_or(SolverError::Disconnected)?;
             let cost = tree.node_cost();
-            return Ok(Solution { tree, strategy: SteinerStrategy::Heuristic, cost });
+            return Ok(Solution {
+                tree,
+                strategy: SteinerStrategy::Heuristic,
+                cost,
+                stats,
+            });
         }
         Err(SolverError::TooLargeForExact)
     }
@@ -150,14 +222,20 @@ impl Solver {
                 Side::V2 => self.bg.clone(),
                 Side::V1 => self.bg.swap_sides(),
             };
-            let out = algorithm1(&oriented, terminals).map_err(|_| SolverError::Disconnected)?;
+            let mut ws = self.ws.borrow_mut();
+            let before = ws.stats;
+            let out = algorithm1_in(&mut ws, &oriented, terminals)
+                .map_err(|_| SolverError::Disconnected)?;
+            let stats = Self::stats_since(&ws, before);
             return Ok(Solution {
                 tree: out.tree,
                 strategy: SteinerStrategy::Algorithm1,
                 cost: out.v2_cost,
+                stats,
             });
         }
         if terminals.len() <= self.config.max_exact_terminals {
+            let stats = self.idle_stats();
             let g = self.bg.graph();
             let weights: Vec<u64> = g
                 .nodes()
@@ -169,9 +247,27 @@ impl Solver {
                 tree: sol.tree,
                 strategy: SteinerStrategy::Exact,
                 cost: sol.cost as usize,
+                stats,
             });
         }
         Err(SolverError::TooLargeForExact)
+    }
+
+    fn stats_since(ws: &Workspace, before: WorkspaceStats) -> SolveStats {
+        SolveStats {
+            bfs_runs: ws.stats.bfs_runs - before.bfs_runs,
+            elimination_steps: ws.stats.elimination_steps - before.elimination_steps,
+            scratch_bytes: ws.scratch_bytes(),
+        }
+    }
+
+    /// Stats for routes that bypass the workspace (exact, heuristic):
+    /// zero deltas, current footprint.
+    fn idle_stats(&self) -> SolveStats {
+        SolveStats {
+            scratch_bytes: self.ws.borrow().scratch_bytes(),
+            ..SolveStats::default()
+        }
     }
 }
 
@@ -229,8 +325,7 @@ mod tests {
             &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)],
         );
         let n = bg.graph().node_count();
-        let terminals =
-            NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(2)]);
+        let terminals = NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(2)]);
         let solver = Solver::new(bg);
         let sol = solver.solve_pseudo(&terminals, Side::V2).unwrap();
         assert_eq!(sol.strategy, SteinerStrategy::Exact);
@@ -238,13 +333,38 @@ mod tests {
     }
 
     #[test]
+    fn polynomial_routes_report_workspace_traffic() {
+        let bg = random_six_two_block_tree(Default::default(), 1);
+        let terminals = random_terminals(bg.graph(), None, 3, 2);
+        let solver = Solver::new(bg);
+        let first = solver.solve_steiner(&terminals).unwrap();
+        assert_eq!(first.strategy, SteinerStrategy::Algorithm2);
+        assert!(first.stats.bfs_runs > 0, "Algorithm 2 must run BFS sweeps");
+        assert!(first.stats.elimination_steps > 0);
+        assert!(first.stats.scratch_bytes > 0);
+        // Deltas reset per solve: a repeat query reports its own traffic,
+        // not the running total, and the footprint has stabilized.
+        let second = solver.solve_steiner(&terminals).unwrap();
+        assert_eq!(second.stats.bfs_runs, first.stats.bfs_runs);
+        assert_eq!(
+            second.stats.elimination_steps,
+            first.stats.elimination_steps
+        );
+        assert_eq!(second.stats.scratch_bytes, first.stats.scratch_bytes);
+        let display = format!("{}", first.stats);
+        assert!(display.contains("BFS runs"), "{display}");
+    }
+
+    #[test]
     fn disconnected_reported() {
         let bg = bipartite_from_lists(&["a", "b"], &["r", "s"], &[(0, 0), (1, 1)]);
         let n = bg.graph().node_count();
-        let terminals =
-            NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(1)]);
+        let terminals = NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(1)]);
         let solver = Solver::new(bg);
-        assert_eq!(solver.solve_steiner(&terminals), Err(SolverError::Disconnected));
+        assert_eq!(
+            solver.solve_steiner(&terminals),
+            Err(SolverError::Disconnected)
+        );
         assert_eq!(
             solver.solve_pseudo(&terminals, Side::V2),
             Err(SolverError::Disconnected)
@@ -260,10 +380,19 @@ mod tests {
         );
         let n = bg.graph().node_count();
         let terminals = NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(1)]);
-        let cfg = SolverConfig { max_exact_terminals: 0, allow_heuristic: false };
+        let cfg = SolverConfig {
+            max_exact_terminals: 0,
+            allow_heuristic: false,
+        };
         let solver = Solver::with_config(bg.clone(), cfg);
-        assert_eq!(solver.solve_steiner(&terminals), Err(SolverError::TooLargeForExact));
-        let cfg = SolverConfig { max_exact_terminals: 0, allow_heuristic: true };
+        assert_eq!(
+            solver.solve_steiner(&terminals),
+            Err(SolverError::TooLargeForExact)
+        );
+        let cfg = SolverConfig {
+            max_exact_terminals: 0,
+            allow_heuristic: true,
+        };
         let solver = Solver::with_config(bg, cfg);
         assert_eq!(
             solver.solve_steiner(&terminals).unwrap().strategy,

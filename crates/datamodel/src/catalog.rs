@@ -27,9 +27,14 @@ pub fn sales_star() -> RelationalSchema {
     RelationalSchema::from_lists(
         "sales_star",
         &[
-            "sale_id", "customer_id", "product_id", "store_id", // fact keys
-            "cust_name", "cust_city", // customer dims
-            "prod_name", "prod_cat", // product dims
+            "sale_id",
+            "customer_id",
+            "product_id",
+            "store_id", // fact keys
+            "cust_name",
+            "cust_city", // customer dims
+            "prod_name",
+            "prod_cat",   // product dims
             "store_city", // store dims
         ],
         &[
@@ -80,7 +85,11 @@ pub fn access_triangle() -> RelationalSchema {
     RelationalSchema::from_lists(
         "access_triangle",
         &["user", "role", "resource"],
-        &[("USER_ROLE", &[0, 1]), ("ROLE_RES", &[1, 2]), ("USER_RES", &[0, 2])],
+        &[
+            ("USER_ROLE", &[0, 1]),
+            ("ROLE_RES", &[1, 2]),
+            ("USER_RES", &[0, 2]),
+        ],
     )
 }
 
@@ -105,7 +114,11 @@ mod tests {
     fn catalog_spans_the_whole_hierarchy() {
         let degrees: Vec<AcyclicityDegree> = all()
             .iter()
-            .map(|s| audit_relational(s).expect("catalog schemas are valid").degree)
+            .map(|s| {
+                audit_relational(s)
+                    .expect("catalog schemas are valid")
+                    .degree
+            })
             .collect();
         assert_eq!(
             degrees,
@@ -151,7 +164,11 @@ mod tests {
             let a = schema.attributes.first().expect("nonempty").as_str();
             let b = schema.attributes.last().expect("nonempty").as_str();
             let it = engine.connect(&[a, b]).expect("connected schema");
-            assert!(it.tree.is_valid_tree(engine.graph().graph()), "{}", schema.name);
+            assert!(
+                it.tree.is_valid_tree(engine.graph().graph()),
+                "{}",
+                schema.name
+            );
         }
     }
 }

@@ -97,7 +97,10 @@ pub fn apply_repair_suggestion(
                     .expect("repair names come from the same schema")
             })
             .collect();
-        out.relations.push(Relation { name: format!("FIX{}", i + 1), attributes: indices });
+        out.relations.push(Relation {
+            name: format!("FIX{}", i + 1),
+            attributes: indices,
+        });
     }
     out
 }
@@ -112,7 +115,12 @@ mod tests {
         let s = RelationalSchema::from_lists(
             "alpha",
             &["a", "b", "c"],
-            &[("r1", &[0, 1]), ("r2", &[1, 2]), ("r3", &[0, 2]), ("r4", &[0, 1, 2])],
+            &[
+                ("r1", &[0, 1]),
+                ("r2", &[1, 2]),
+                ("r3", &[0, 2]),
+                ("r4", &[0, 1, 2]),
+            ],
         );
         let rep = audit_relational(&s).unwrap();
         assert_eq!(rep.degree, AcyclicityDegree::Alpha);
@@ -167,13 +175,28 @@ mod tests {
     fn theorem1_consistency_between_views() {
         // The graph-side and hypergraph-side views must agree (Theorem 1).
         for (name, attrs, rels) in [
-            ("t1", vec!["a", "b", "c", "d"], vec![("r1", vec![0usize, 1]), ("r2", vec![1, 2]), ("r3", vec![2, 3])]),
-            ("t2", vec!["a", "b", "c"], vec![("r1", vec![0, 1]), ("r2", vec![1, 2]), ("r3", vec![0, 2])]),
+            (
+                "t1",
+                vec!["a", "b", "c", "d"],
+                vec![
+                    ("r1", vec![0usize, 1]),
+                    ("r2", vec![1, 2]),
+                    ("r3", vec![2, 3]),
+                ],
+            ),
+            (
+                "t2",
+                vec!["a", "b", "c"],
+                vec![("r1", vec![0, 1]), ("r2", vec![1, 2]), ("r3", vec![0, 2])],
+            ),
         ] {
             let s = RelationalSchema::from_lists(
                 name,
                 &attrs,
-                &rels.iter().map(|(n, a)| (*n, a.as_slice())).collect::<Vec<_>>(),
+                &rels
+                    .iter()
+                    .map(|(n, a)| (*n, a.as_slice()))
+                    .collect::<Vec<_>>(),
             );
             let rep = audit_relational(&s).unwrap();
             assert_eq!(

@@ -55,7 +55,10 @@ pub fn parse_schema(text: &str) -> Result<RelationalSchema, ParseError> {
         if line.is_empty() {
             continue;
         }
-        let err = |message: String| ParseError { line: lineno + 1, message };
+        let err = |message: String| ParseError {
+            line: lineno + 1,
+            message,
+        };
         if line == "schema" {
             return Err(err("empty schema name".into()));
         }
@@ -99,9 +102,16 @@ pub fn parse_schema(text: &str) -> Result<RelationalSchema, ParseError> {
         if attrs.is_empty() {
             return Err(err(format!("relation {rel_name:?} has no attributes")));
         }
-        relations.push(Relation { name: rel_name.to_string(), attributes: attrs });
+        relations.push(Relation {
+            name: rel_name.to_string(),
+            attributes: attrs,
+        });
     }
-    Ok(RelationalSchema { name, attributes, relations })
+    Ok(RelationalSchema {
+        name,
+        attributes,
+        relations,
+    })
 }
 
 /// Renders a schema back into the DSL (inverse of [`parse_schema`] up to

@@ -39,7 +39,10 @@ pub fn er_to_relational(er: &ErSchema) -> Result<RelationalSchema, ErSchemaError
         for a in &e.attributes {
             attrs.push(index(a, &mut attributes));
         }
-        relations.push(Relation { name: e.name.clone(), attributes: attrs });
+        relations.push(Relation {
+            name: e.name.clone(),
+            attributes: attrs,
+        });
     }
     for r in &er.relationships {
         let mut attrs: Vec<usize> = r
@@ -51,9 +54,16 @@ pub fn er_to_relational(er: &ErSchema) -> Result<RelationalSchema, ErSchemaError
             attrs.push(index(a, &mut attributes));
         }
         attrs.dedup(); // a reflexive relationship repeats its key
-        relations.push(Relation { name: r.name.clone(), attributes: attrs });
+        relations.push(Relation {
+            name: r.name.clone(),
+            attributes: attrs,
+        });
     }
-    Ok(RelationalSchema { name: er.name.clone(), attributes, relations })
+    Ok(RelationalSchema {
+        name: er.name.clone(),
+        attributes,
+        relations,
+    })
 }
 
 #[cfg(test)]

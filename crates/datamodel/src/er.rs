@@ -67,7 +67,9 @@ impl ErGraph {
 
     /// The nodes of a given level.
     pub fn nodes_of_kind(&self, kind: NodeKind) -> impl Iterator<Item = NodeId> + '_ {
-        self.graph.nodes().filter(move |v| self.kind[v.index()] == kind)
+        self.graph
+            .nodes()
+            .filter(move |v| self.kind[v.index()] == kind)
     }
 }
 
@@ -90,8 +92,14 @@ impl std::fmt::Display for ErSchemaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ErSchemaError::DuplicateName(n) => write!(f, "duplicate concept name {n:?}"),
-            ErSchemaError::UnknownEntity { relationship, entity } => {
-                write!(f, "relationship {relationship:?} references unknown entity {entity:?}")
+            ErSchemaError::UnknownEntity {
+                relationship,
+                entity,
+            } => {
+                write!(
+                    f,
+                    "relationship {relationship:?} references unknown entity {entity:?}"
+                )
             }
         }
     }
@@ -108,9 +116,9 @@ impl ErSchema {
 
         // Attributes first (shared by name).
         let attr_node = |b: &mut GraphBuilder,
-                             kind: &mut Vec<NodeKind>,
-                             by_name: &mut HashMap<&str, NodeId>,
-                             name: &'_ str|
+                         kind: &mut Vec<NodeKind>,
+                         by_name: &mut HashMap<&str, NodeId>,
+                         name: &'_ str|
          -> NodeId {
             // Attributes may repeat; concepts may not (checked later).
             if let Some(&v) = by_name.get(name) {
@@ -169,7 +177,10 @@ impl ErSchema {
                 b.add_edge(rv, av).expect("ids valid");
             }
         }
-        Ok(ErGraph { graph: b.build(), kind })
+        Ok(ErGraph {
+            graph: b.build(),
+            kind,
+        })
     }
 }
 
@@ -181,8 +192,14 @@ pub fn fig1_schema() -> ErSchema {
     ErSchema {
         name: "fig1".into(),
         entities: vec![
-            Entity { name: "EMPLOYEE".into(), attributes: vec!["NAME".into(), "DATE".into()] },
-            Entity { name: "DEPARTMENT".into(), attributes: vec!["D#".into()] },
+            Entity {
+                name: "EMPLOYEE".into(),
+                attributes: vec!["NAME".into(), "DATE".into()],
+            },
+            Entity {
+                name: "DEPARTMENT".into(),
+                attributes: vec!["D#".into()],
+            },
         ],
         relationships: vec![Relationship {
             name: "WORKS".into(),
@@ -223,7 +240,10 @@ mod tests {
     #[test]
     fn duplicate_entity_rejected() {
         let mut s = fig1_schema();
-        s.entities.push(Entity { name: "EMPLOYEE".into(), attributes: vec![] });
+        s.entities.push(Entity {
+            name: "EMPLOYEE".into(),
+            attributes: vec![],
+        });
         assert!(matches!(s.to_graph(), Err(ErSchemaError::DuplicateName(_))));
     }
 
@@ -231,7 +251,10 @@ mod tests {
     fn unknown_entity_rejected() {
         let mut s = fig1_schema();
         s.relationships[0].entities.push("GHOST".into());
-        assert!(matches!(s.to_graph(), Err(ErSchemaError::UnknownEntity { .. })));
+        assert!(matches!(
+            s.to_graph(),
+            Err(ErSchemaError::UnknownEntity { .. })
+        ));
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub fn enumerate_connections(
     max_slack: usize,
 ) -> Vec<NodeSet> {
     let n = g.node_count();
-    assert!(n <= 24, "interpretation enumeration is for concept-graph scale (n ≤ 24)");
+    assert!(
+        n <= 24,
+        "interpretation enumeration is for concept-graph scale (n ≤ 24)"
+    );
     if terminals.is_empty() || max_results == 0 {
         return Vec::new();
     }
@@ -78,7 +81,10 @@ pub fn enumerate_tree_interpretations(
     max_slack: usize,
 ) -> Vec<mcc_steiner::SteinerTree> {
     let n = g.node_count();
-    assert!(n <= 20, "tree interpretation enumeration is for concept-graph scale (n ≤ 20)");
+    assert!(
+        n <= 20,
+        "tree interpretation enumeration is for concept-graph scale (n ≤ 20)"
+    );
     if terminals.is_empty() || max_results == 0 {
         return Vec::new();
     }
@@ -131,9 +137,7 @@ pub fn enumerate_tree_interpretations(
             }
         });
     }
-    trees.sort_by(|a, b| {
-        (a.node_cost(), &a.edges).cmp(&(b.node_cost(), &b.edges))
-    });
+    trees.sort_by(|a, b| (a.node_cost(), &a.edges).cmp(&(b.node_cost(), &b.edges)));
     trees.dedup_by(|a, b| a.edges == b.edges && a.nodes == b.nodes);
     trees.truncate(max_results);
     trees
@@ -184,8 +188,12 @@ fn combos(
 
 fn is_tree_over(edges: &[(NodeId, NodeId)], members: &[NodeId]) -> bool {
     // Union-find over member positions.
-    let pos: std::collections::HashMap<NodeId, usize> =
-        members.iter().copied().enumerate().map(|(i, v)| (v, i)).collect();
+    let pos: std::collections::HashMap<NodeId, usize> = members
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
     let mut parent: Vec<usize> = (0..members.len()).collect();
     fn find(parent: &mut Vec<usize>, x: usize) -> usize {
         if parent[x] != x {
@@ -220,7 +228,10 @@ mod tests {
         let date = er.node("DATE").unwrap();
         let terminals = NodeSet::from_nodes(g.node_count(), [emp, date]);
         let alts = enumerate_tree_interpretations(g, &terminals, 10, 2);
-        assert!(alts.len() >= 2, "expected at least the two interpretations of the intro");
+        assert!(
+            alts.len() >= 2,
+            "expected at least the two interpretations of the intro"
+        );
         // First (minimal): the direct EMPLOYEE-DATE arc — no auxiliary
         // objects ("list employees with their birthdate").
         assert_eq!(alts[0].node_cost(), 2);
@@ -233,7 +244,10 @@ mod tests {
         assert!(!alts[1].edges.contains(&ordered(emp, date)));
     }
 
-    fn ordered(a: mcc_graph::NodeId, b: mcc_graph::NodeId) -> (mcc_graph::NodeId, mcc_graph::NodeId) {
+    fn ordered(
+        a: mcc_graph::NodeId,
+        b: mcc_graph::NodeId,
+    ) -> (mcc_graph::NodeId, mcc_graph::NodeId) {
         if a < b {
             (a, b)
         } else {

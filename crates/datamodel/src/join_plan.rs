@@ -118,7 +118,9 @@ pub fn join_plan(
         // joined prefix (exists because the tree is connected through
         // attribute nodes).
         let pos = remaining.iter().position(|&r| {
-            attrs_of(g.label(r)).iter().any(|a| joined_attrs.contains(a))
+            attrs_of(g.label(r))
+                .iter()
+                .any(|a| joined_attrs.contains(a))
         });
         let Some(pos) = pos else {
             return Err(PlanError::DisconnectedJoins(
@@ -137,7 +139,11 @@ pub fn join_plan(
         join_attributes.push(shared);
         joins.push(name);
     }
-    Ok(JoinPlan { joins, join_attributes, projection: projection.to_vec() })
+    Ok(JoinPlan {
+        joins,
+        join_attributes,
+        projection: projection.to_vec(),
+    })
 }
 
 #[cfg(test)]
@@ -201,8 +207,7 @@ mod tests {
         let schema = university();
         let engine = QueryEngine::new(schema.clone()).unwrap();
         let it = engine.connect(&["student"]).unwrap();
-        let plan =
-            join_plan(&schema, engine.graph(), &it, &["student".into()]).unwrap();
+        let plan = join_plan(&schema, engine.graph(), &it, &["student".into()]).unwrap();
         assert!(plan.joins.is_empty());
         assert_eq!(plan.to_string(), "π[student](∅)");
     }

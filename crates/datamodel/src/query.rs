@@ -151,8 +151,8 @@ impl QueryEngine {
             let tree = algorithm2(g, terminals).ok_or(QueryError::Disconnected)?;
             (tree, Strategy::Algorithm2)
         } else if self.alpha {
-            let out = algorithm1(&self.bipartite, terminals)
-                .map_err(|_| QueryError::Disconnected)?;
+            let out =
+                algorithm1(&self.bipartite, terminals).map_err(|_| QueryError::Disconnected)?;
             (out.tree, Strategy::Algorithm1)
         } else if terminals.len() <= 10 && g.node_count() <= 64 {
             let sol = steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone()))
@@ -180,7 +180,12 @@ impl QueryEngine {
             .filter(|&v| self.bipartite.side(v) == Side::V1)
             .map(name_of)
             .collect();
-        Interpretation { tree, strategy, relations, attributes }
+        Interpretation {
+            tree,
+            strategy,
+            relations,
+            attributes,
+        }
     }
 }
 
@@ -242,11 +247,8 @@ mod tests {
             engine.connect(&["name", "salary"]),
             Err(QueryError::UnknownName(_))
         ));
-        let disconnected = RelationalSchema::from_lists(
-            "disc",
-            &["a", "b"],
-            &[("r1", &[0]), ("r2", &[1])],
-        );
+        let disconnected =
+            RelationalSchema::from_lists("disc", &["a", "b"], &[("r1", &[0]), ("r2", &[1])]);
         let engine = QueryEngine::new(disconnected).unwrap();
         assert_eq!(engine.connect(&["a", "b"]), Err(QueryError::Disconnected));
     }

@@ -48,7 +48,10 @@ impl std::fmt::Display for RelationalSchemaError {
                 write!(f, "relation {r:?} has no attributes")
             }
             RelationalSchemaError::AttributeOutOfRange { relation, index } => {
-                write!(f, "relation {relation:?} references attribute index {index} out of range")
+                write!(
+                    f,
+                    "relation {relation:?} references attribute index {index} out of range"
+                )
             }
         }
     }
@@ -58,17 +61,16 @@ impl std::error::Error for RelationalSchemaError {}
 
 impl RelationalSchema {
     /// A convenience constructor from label lists.
-    pub fn from_lists(
-        name: &str,
-        attributes: &[&str],
-        relations: &[(&str, &[usize])],
-    ) -> Self {
+    pub fn from_lists(name: &str, attributes: &[&str], relations: &[(&str, &[usize])]) -> Self {
         RelationalSchema {
             name: name.into(),
             attributes: attributes.iter().map(|s| s.to_string()).collect(),
             relations: relations
                 .iter()
-                .map(|(n, a)| Relation { name: n.to_string(), attributes: a.to_vec() })
+                .map(|(n, a)| Relation {
+                    name: n.to_string(),
+                    attributes: a.to_vec(),
+                })
                 .collect(),
         }
     }
@@ -155,7 +157,10 @@ mod tests {
     #[test]
     fn validation_errors() {
         let s = RelationalSchema::from_lists("bad", &["a"], &[("r", &[])]);
-        assert!(matches!(s.to_hypergraph(), Err(RelationalSchemaError::EmptyRelation(_))));
+        assert!(matches!(
+            s.to_hypergraph(),
+            Err(RelationalSchemaError::EmptyRelation(_))
+        ));
         let s = RelationalSchema::from_lists("bad", &["a"], &[("r", &[5])]);
         assert!(matches!(
             s.to_hypergraph(),

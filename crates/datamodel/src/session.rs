@@ -94,14 +94,21 @@ impl DisambiguationSession {
             .copied()
             .filter(|v| !self.disclosed.contains(*v))
             .collect();
-        Some(Proposal { tree: tree.clone(), auxiliary, newly_disclosed })
+        Some(Proposal {
+            tree: tree.clone(),
+            auxiliary,
+            newly_disclosed,
+        })
     }
 
     /// Renders the current proposal in user-facing terms.
     pub fn describe_current(&self) -> Option<String> {
         let p = self.current()?;
         let names = |xs: &[NodeId]| {
-            xs.iter().map(|&v| self.graph.label(v)).collect::<Vec<_>>().join(", ")
+            xs.iter()
+                .map(|&v| self.graph.label(v))
+                .collect::<Vec<_>>()
+                .join(", ")
         };
         let arcs: Vec<String> = p
             .tree
@@ -112,11 +119,7 @@ impl DisambiguationSession {
         Some(if p.auxiliary.is_empty() {
             format!("direct connection [{}]", arcs.join(", "))
         } else {
-            format!(
-                "via {} [{}]",
-                names(&p.auxiliary),
-                arcs.join(", ")
-            )
+            format!("via {} [{}]", names(&p.auxiliary), arcs.join(", "))
         })
     }
 
@@ -143,10 +146,7 @@ impl DisambiguationSession {
     /// all auxiliaries of inspected proposals) — the quantity the paper
     /// wants minimized.
     pub fn disclosed_count(&self) -> usize {
-        let current_aux = self
-            .current()
-            .map(|p| p.newly_disclosed.len())
-            .unwrap_or(0);
+        let current_aux = self.current().map(|p| p.newly_disclosed.len()).unwrap_or(0);
         self.disclosed.len() + current_aux
     }
 }
@@ -204,8 +204,7 @@ mod tests {
     #[test]
     fn disconnected_query_fails_to_open() {
         let g = mcc_graph::builder::graph_from_edges(4, &[(0, 1), (2, 3)]);
-        let terminals =
-            NodeSet::from_nodes(4, [mcc_graph::NodeId(0), mcc_graph::NodeId(2)]);
+        let terminals = NodeSet::from_nodes(4, [mcc_graph::NodeId(0), mcc_graph::NodeId(2)]);
         assert_eq!(
             DisambiguationSession::open(&g, &terminals, 5, 2).unwrap_err(),
             SessionError::NoInterpretation
@@ -217,8 +216,7 @@ mod tests {
         // A square: two routes sharing nothing; rejecting the first
         // dislcoses its midpoint, the second adds only the other one.
         let g = mcc_graph::builder::graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
-        let terminals =
-            NodeSet::from_nodes(4, [mcc_graph::NodeId(0), mcc_graph::NodeId(2)]);
+        let terminals = NodeSet::from_nodes(4, [mcc_graph::NodeId(0), mcc_graph::NodeId(2)]);
         let mut s = DisambiguationSession::open(&g, &terminals, 5, 2).unwrap();
         assert_eq!(s.disclosed_count(), 3); // terminals + first midpoint
         let p = s.reject().unwrap();

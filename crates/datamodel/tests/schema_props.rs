@@ -26,7 +26,11 @@ fn small_schema() -> impl Strategy<Value = RelationalSchema> {
                     attributes: (0..n_attrs).filter(|j| mask & (1 << j) != 0).collect(),
                 })
                 .collect();
-            RelationalSchema { name: "prop".into(), attributes, relations }
+            RelationalSchema {
+                name: "prop".into(),
+                attributes,
+                relations,
+            }
         })
 }
 
@@ -54,7 +58,11 @@ fn drop_unused_attributes(schema: &RelationalSchema) -> RelationalSchema {
                 .collect(),
         })
         .collect();
-    RelationalSchema { name: schema.name.clone(), attributes, relations }
+    RelationalSchema {
+        name: schema.name.clone(),
+        attributes,
+        relations,
+    }
 }
 
 proptest! {

@@ -67,7 +67,10 @@ mod tests {
         assert_eq!(a.side_count(Side::V2), 6);
         let c = random_bipartite(5, 6, 0.4, 8);
         // Different seed almost surely differs (fixed here, so assert).
-        assert_ne!(a.graph().edges().collect::<Vec<_>>(), c.graph().edges().collect::<Vec<_>>());
+        assert_ne!(
+            a.graph().edges().collect::<Vec<_>>(),
+            c.graph().edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

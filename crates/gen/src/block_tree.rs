@@ -23,7 +23,10 @@ pub struct BlockTreeShape {
 
 impl Default for BlockTreeShape {
     fn default() -> Self {
-        BlockTreeShape { blocks: 6, max_block: 3 }
+        BlockTreeShape {
+            blocks: 6,
+            max_block: 3,
+        }
     }
 }
 
@@ -37,7 +40,10 @@ impl Default for BlockTreeShape {
 /// assert!(is_six_two_chordal(&bg)); // always on-class
 /// ```
 pub fn random_six_two_block_tree(shape: BlockTreeShape, seed: u64) -> BipartiteGraph {
-    assert!(shape.blocks >= 1 && shape.max_block >= 2, "degenerate shape");
+    assert!(
+        shape.blocks >= 1 && shape.max_block >= 2,
+        "degenerate shape"
+    );
     let mut r = rng(seed);
     let mut b = GraphBuilder::new();
     let mut side: Vec<Side> = Vec::new();
@@ -109,7 +115,13 @@ mod tests {
     fn usually_not_six_one_trivial() {
         // The class sits strictly between forests and chordal bipartite:
         // check the generator actually produces cycles (not just trees).
-        let bg = random_six_two_block_tree(BlockTreeShape { blocks: 4, max_block: 3 }, 1);
+        let bg = random_six_two_block_tree(
+            BlockTreeShape {
+                blocks: 4,
+                max_block: 3,
+            },
+            1,
+        );
         let c = classify_bipartite(&bg);
         assert!(!c.four_one, "blocks of size ≥ 2×2 contain C4s");
         assert!(c.six_two && c.six_one);
@@ -124,7 +136,13 @@ mod tests {
 
     #[test]
     fn single_block_is_complete_bipartite() {
-        let bg = random_six_two_block_tree(BlockTreeShape { blocks: 1, max_block: 2 }, 0);
+        let bg = random_six_two_block_tree(
+            BlockTreeShape {
+                blocks: 1,
+                max_block: 2,
+            },
+            0,
+        );
         let g = bg.graph();
         assert_eq!(g.edge_count(), 4);
         assert_eq!(g.node_count(), 4);

@@ -26,17 +26,26 @@ pub struct IntervalShape {
 
 impl Default for IntervalShape {
     fn default() -> Self {
-        IntervalShape { nodes: 12, edges: 8, max_len: 4 }
+        IntervalShape {
+            nodes: 12,
+            edges: 8,
+            max_len: 4,
+        }
     }
 }
 
 /// Generates a random interval hypergraph plus its incidence bipartite
 /// graph (which is chordal bipartite / (6,1)-chordal).
 pub fn random_interval_hypergraph(shape: IntervalShape, seed: u64) -> (Hypergraph, BipartiteGraph) {
-    assert!(shape.nodes >= 1 && shape.edges >= 1 && shape.max_len >= 1, "degenerate shape");
+    assert!(
+        shape.nodes >= 1 && shape.edges >= 1 && shape.max_len >= 1,
+        "degenerate shape"
+    );
     let mut r = rng(seed);
     let mut b = HypergraphBuilder::new();
-    let nodes: Vec<NodeId> = (0..shape.nodes).map(|i| b.add_node(format!("p{i}"))).collect();
+    let nodes: Vec<NodeId> = (0..shape.nodes)
+        .map(|i| b.add_node(format!("p{i}")))
+        .collect();
     for e in 0..shape.edges {
         let len = r.gen_range(1..=shape.max_len.min(shape.nodes));
         let lo = r.gen_range(0..=shape.nodes - len);
@@ -65,7 +74,11 @@ mod tests {
 
     #[test]
     fn respects_shape() {
-        let shape = IntervalShape { nodes: 9, edges: 5, max_len: 3 };
+        let shape = IntervalShape {
+            nodes: 9,
+            edges: 5,
+            max_len: 3,
+        };
         let (h, _) = random_interval_hypergraph(shape, 2);
         assert_eq!(h.node_count(), 9);
         assert_eq!(h.edge_count(), 5);

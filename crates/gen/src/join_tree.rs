@@ -26,7 +26,11 @@ pub struct JoinTreeShape {
 
 impl Default for JoinTreeShape {
     fn default() -> Self {
-        JoinTreeShape { num_edges: 8, max_shared: 3, max_fresh: 4 }
+        JoinTreeShape {
+            num_edges: 8,
+            max_shared: 3,
+            max_fresh: 4,
+        }
     }
 }
 
@@ -35,7 +39,10 @@ impl Default for JoinTreeShape {
 /// `V1`, relation nodes on `V2`).
 pub fn random_alpha_acyclic(shape: JoinTreeShape, seed: u64) -> (Hypergraph, BipartiteGraph) {
     assert!(shape.num_edges >= 1, "need at least one edge");
-    assert!(shape.max_shared >= 1 && shape.max_fresh >= 1, "degenerate shape");
+    assert!(
+        shape.max_shared >= 1 && shape.max_fresh >= 1,
+        "degenerate shape"
+    );
     let mut r = rng(seed);
     let mut b = HypergraphBuilder::new();
     let mut edges: Vec<Vec<NodeId>> = Vec::with_capacity(shape.num_edges);
@@ -62,7 +69,8 @@ pub fn random_alpha_acyclic(shape: JoinTreeShape, seed: u64) -> (Hypergraph, Bip
             members.push(b.add_node(format!("A{}", b.node_count())));
         }
         debug_assert!(!members.is_empty(), "share ≥ 1 whenever a parent exists");
-        b.add_edge(format!("R{}", e + 1), members.clone()).expect("nonempty edge");
+        b.add_edge(format!("R{}", e + 1), members.clone())
+            .expect("nonempty edge");
         edges.push(members);
     }
     let h = b.build();
@@ -104,7 +112,11 @@ mod tests {
 
     #[test]
     fn scales_to_requested_edge_count() {
-        let shape = JoinTreeShape { num_edges: 40, max_shared: 2, max_fresh: 3 };
+        let shape = JoinTreeShape {
+            num_edges: 40,
+            max_shared: 2,
+            max_fresh: 3,
+        };
         let (h, bg) = random_alpha_acyclic(shape, 11);
         assert_eq!(h.edge_count(), 40);
         assert_eq!(bg.side_nodes(Side::V2).count(), 40);
@@ -112,7 +124,11 @@ mod tests {
 
     #[test]
     fn single_edge_shape() {
-        let shape = JoinTreeShape { num_edges: 1, max_shared: 1, max_fresh: 3 };
+        let shape = JoinTreeShape {
+            num_edges: 1,
+            max_shared: 1,
+            max_fresh: 3,
+        };
         let (h, _) = random_alpha_acyclic(shape, 0);
         assert_eq!(h.edge_count(), 1);
         assert!(is_alpha_acyclic(&h));

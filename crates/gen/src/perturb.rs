@@ -134,14 +134,20 @@ mod tests {
                 None => break,
             }
         }
-        assert!(left_class, "adding arbitrary edges must eventually break (6,2)");
+        assert!(
+            left_class,
+            "adding arbitrary edges must eventually break (6,2)"
+        );
     }
 
     #[test]
     fn forest_stays_forest_under_removal() {
         let bg = crate::random_tree_bipartite(12, 5);
         let p = remove_random_edge(&bg, 7).expect("tree has edges");
-        assert!(classify_bipartite(&p).four_one, "removing edges keeps forests forests");
+        assert!(
+            classify_bipartite(&p).four_one,
+            "removing edges keeps forests forests"
+        );
     }
 
     #[test]

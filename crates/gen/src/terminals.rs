@@ -9,18 +9,17 @@ use rand::seq::SliceRandom;
 ///
 /// # Panics
 /// Panics when fewer than `k` candidates exist.
-pub fn random_terminals(
-    g: &Graph,
-    candidates: Option<&NodeSet>,
-    k: usize,
-    seed: u64,
-) -> NodeSet {
+pub fn random_terminals(g: &Graph, candidates: Option<&NodeSet>, k: usize, seed: u64) -> NodeSet {
     let mut r = rng(seed);
     let mut pool: Vec<NodeId> = match candidates {
         Some(c) => c.to_vec(),
         None => g.nodes().collect(),
     };
-    assert!(pool.len() >= k, "not enough candidate terminals ({} < {k})", pool.len());
+    assert!(
+        pool.len() >= k,
+        "not enough candidate terminals ({} < {k})",
+        pool.len()
+    );
     pool.shuffle(&mut r);
     NodeSet::from_nodes(g.node_count(), pool.into_iter().take(k))
 }
@@ -56,6 +55,9 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = graph_from_edges(20, &[]);
-        assert_eq!(random_terminals(&g, None, 5, 9), random_terminals(&g, None, 5, 9));
+        assert_eq!(
+            random_terminals(&g, None, 5, 9),
+            random_terminals(&g, None, 5, 9)
+        );
     }
 }

@@ -14,8 +14,7 @@ pub fn random_x3c_planted(q: usize, extra: usize, seed: u64) -> X3cInstance {
     let n = 3 * q;
     let mut perm: Vec<usize> = (0..n).collect();
     perm.shuffle(&mut r);
-    let mut triples: Vec<[usize; 3]> =
-        perm.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
+    let mut triples: Vec<[usize; 3]> = perm.chunks_exact(3).map(|c| [c[0], c[1], c[2]]).collect();
     for _ in 0..extra {
         triples.push(random_triple(n, &mut r));
     }

@@ -103,7 +103,10 @@ pub fn biconnected_components(g: &Graph) -> Biconnected {
             articulation.insert(NodeId::from_index(root));
         }
     }
-    Biconnected { components, articulation_points: articulation }
+    Biconnected {
+        components,
+        articulation_points: articulation,
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +160,16 @@ mod tests {
     fn components_partition_edges() {
         let g = graph_from_edges(
             7,
-            &[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
         );
         let b = biconnected_components(&g);
         let total: usize = b.components.iter().map(|c| c.len()).sum();

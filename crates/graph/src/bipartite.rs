@@ -89,7 +89,10 @@ impl BipartiteGraph {
                 }
             }
         }
-        let side = side.into_iter().map(|s| s.expect("all nodes colored")).collect();
+        let side = side
+            .into_iter()
+            .map(|s| s.expect("all nodes colored"))
+            .collect();
         Ok(BipartiteGraph { graph, side })
     }
 
@@ -180,7 +183,8 @@ pub fn bipartite_from_lists(
     let v1: Vec<NodeId> = v1_labels.iter().map(|l| b.add_node(*l)).collect();
     let v2: Vec<NodeId> = v2_labels.iter().map(|l| b.add_node(*l)).collect();
     for &(i, j) in edges {
-        b.add_edge(v1[i], v2[j]).expect("invalid edge in bipartite list");
+        b.add_edge(v1[i], v2[j])
+            .expect("invalid edge in bipartite list");
     }
     let graph = b.build();
     let mut side = vec![Side::V1; v1_labels.len()];
@@ -223,7 +227,13 @@ mod tests {
     fn partition_size_checked() {
         let g = graph_from_edges(2, &[(0, 1)]);
         let err = BipartiteGraph::new(g, vec![Side::V1]).unwrap_err();
-        assert_eq!(err, GraphError::PartitionSizeMismatch { provided: 1, expected: 2 });
+        assert_eq!(
+            err,
+            GraphError::PartitionSizeMismatch {
+                provided: 1,
+                expected: 2
+            }
+        );
     }
 
     #[test]

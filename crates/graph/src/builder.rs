@@ -64,7 +64,10 @@ impl GraphBuilder {
         }
         for v in [a, b] {
             if v.index() >= self.labels.len() {
-                return Err(GraphError::NodeOutOfRange { node: v, node_count: self.labels.len() });
+                return Err(GraphError::NodeOutOfRange {
+                    node: v,
+                    node_count: self.labels.len(),
+                });
             }
         }
         self.adj[a.index()].push(b);
@@ -135,20 +138,30 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let mut b = GraphBuilder::with_nodes(1);
-        assert_eq!(b.add_edge(NodeId(0), NodeId(0)), Err(GraphError::SelfLoop(NodeId(0))));
+        assert_eq!(
+            b.add_edge(NodeId(0), NodeId(0)),
+            Err(GraphError::SelfLoop(NodeId(0)))
+        );
     }
 
     #[test]
     fn out_of_range_rejected() {
         let mut b = GraphBuilder::with_nodes(1);
         let err = b.add_edge(NodeId(0), NodeId(5)).unwrap_err();
-        assert_eq!(err, GraphError::NodeOutOfRange { node: NodeId(5), node_count: 1 });
+        assert_eq!(
+            err,
+            GraphError::NodeOutOfRange {
+                node: NodeId(5),
+                node_count: 1
+            }
+        );
     }
 
     #[test]
     fn add_edges_bulk() {
         let mut b = GraphBuilder::with_nodes(3);
-        b.add_edges([(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]).unwrap();
+        b.add_edges([(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))])
+            .unwrap();
         let g = b.build();
         assert_eq!(g.edge_count(), 2);
     }

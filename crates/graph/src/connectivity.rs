@@ -5,7 +5,7 @@
 //! alive subgraph connected and does it still contain all terminals
 //! (Definition 10). These helpers implement exactly that predicate.
 
-use crate::{bfs_order, Graph, NodeId, NodeSet};
+use crate::{bfs_order_in, Graph, NodeId, NodeSet, Workspace};
 
 /// `true` iff the subgraph induced by `alive` is connected.
 ///
@@ -13,9 +13,14 @@ use crate::{bfs_order, Graph, NodeId, NodeSet};
 /// connected (an empty cover can only cover an empty `P`), as is any
 /// singleton.
 pub fn is_connected_within(g: &Graph, alive: &NodeSet) -> bool {
+    is_connected_within_in(&mut Workspace::new(), g, alive)
+}
+
+/// Allocation-free [`is_connected_within`].
+pub fn is_connected_within_in(ws: &mut Workspace, g: &Graph, alive: &NodeSet) -> bool {
     match alive.first() {
         None => true,
-        Some(start) => bfs_order(g, alive, start).len() == alive.len(),
+        Some(start) => bfs_order_in(ws, g, alive, start).len() == alive.len(),
     }
 }
 
@@ -28,6 +33,11 @@ pub fn is_connected(g: &Graph) -> bool {
 /// (Definition 10): it contains every terminal and is connected.
 pub fn is_cover(g: &Graph, alive: &NodeSet, terminals: &NodeSet) -> bool {
     terminals.is_subset_of(alive) && is_connected_within(g, alive)
+}
+
+/// Allocation-free [`is_cover`].
+pub fn is_cover_in(ws: &mut Workspace, g: &Graph, alive: &NodeSet, terminals: &NodeSet) -> bool {
+    terminals.is_subset_of(alive) && is_connected_within_in(ws, g, alive)
 }
 
 /// `true` iff every terminal is alive and all terminals lie in **one**
@@ -43,25 +53,73 @@ pub fn is_cover(g: &Graph, alive: &NodeSet, terminals: &NodeSet) -> bool {
 ///
 /// An empty terminal set is vacuously connected.
 pub fn terminals_connected(g: &Graph, alive: &NodeSet, terminals: &NodeSet) -> bool {
+    terminals_connected_in(&mut Workspace::new(), g, alive, terminals)
+}
+
+/// Allocation-free [`terminals_connected`]: one BFS from the first
+/// terminal, counting terminals as they are reached and stopping early
+/// once all of them have been seen. No component set is materialized.
+pub fn terminals_connected_in(
+    ws: &mut Workspace,
+    g: &Graph,
+    alive: &NodeSet,
+    terminals: &NodeSet,
+) -> bool {
     if !terminals.is_subset_of(alive) {
         return false;
     }
-    match terminals.first() {
-        None => true,
-        Some(t) => terminals.is_subset_of(&component_of(g, alive, t)),
+    let Some(t0) = terminals.first() else {
+        return true;
+    };
+    let want = terminals.len();
+    ws.begin_visit(g.node_count());
+    ws.stats.bfs_runs += 1;
+    ws.queue.clear();
+    ws.mark(t0);
+    ws.queue.push(t0);
+    let mut found = 1;
+    let mut head = 0;
+    while head < ws.queue.len() {
+        if found == want {
+            return true;
+        }
+        let v = ws.queue[head];
+        head += 1;
+        for &u in g.neighbors(v) {
+            if alive.contains(u) && ws.mark(u) {
+                if terminals.contains(u) {
+                    found += 1;
+                }
+                ws.queue.push(u);
+            }
+        }
     }
+    found == want
 }
 
 /// The connected components of the subgraph induced by `alive`, each as a
 /// [`NodeSet`], ordered by smallest member.
 pub fn connected_components(g: &Graph, alive: &NodeSet) -> Vec<NodeSet> {
-    let mut remaining = alive.clone();
+    connected_components_in(&mut Workspace::new(), g, alive)
+}
+
+/// [`connected_components`] through a workspace: a single BFS sweep under
+/// one visited epoch, instead of cloning the alive mask and subtracting
+/// each component from it. (The output sets themselves are still
+/// allocated — they are the result.)
+pub fn connected_components_in(ws: &mut Workspace, g: &Graph, alive: &NodeSet) -> Vec<NodeSet> {
     let mut comps = Vec::new();
-    while let Some(start) = remaining.first() {
-        let members = bfs_order(g, &remaining, start);
-        let comp = NodeSet::from_nodes(g.node_count(), members.iter().copied());
-        remaining.difference_with(&comp);
-        comps.push(comp);
+    ws.begin_visit(g.node_count());
+    for start in alive.iter() {
+        if ws.is_marked(start) {
+            continue;
+        }
+        ws.queue.clear();
+        ws.bfs_into_queue(g, alive, start);
+        comps.push(NodeSet::from_nodes(
+            g.node_count(),
+            ws.queue.iter().copied(),
+        ));
     }
     comps
 }
@@ -69,7 +127,24 @@ pub fn connected_components(g: &Graph, alive: &NodeSet) -> Vec<NodeSet> {
 /// The component of `v` in the subgraph induced by `alive`. `v` must be
 /// alive.
 pub fn component_of(g: &Graph, alive: &NodeSet, v: NodeId) -> NodeSet {
-    NodeSet::from_nodes(g.node_count(), bfs_order(g, alive, v))
+    let mut out = NodeSet::new(g.node_count());
+    component_of_in(&mut Workspace::new(), g, alive, v, &mut out);
+    out
+}
+
+/// Allocation-free [`component_of`]: clears `out` (which must have
+/// capacity ≥ `g.node_count()`) and fills it with `v`'s component.
+pub fn component_of_in(
+    ws: &mut Workspace,
+    g: &Graph,
+    alive: &NodeSet,
+    v: NodeId,
+    out: &mut NodeSet,
+) {
+    out.clear();
+    for &u in bfs_order_in(ws, g, alive, v) {
+        out.insert(u);
+    }
 }
 
 #[cfg(test)]
@@ -81,7 +156,10 @@ mod tests {
     fn empty_and_singleton_are_connected() {
         let g = graph_from_edges(3, &[]);
         assert!(is_connected_within(&g, &NodeSet::new(3)));
-        assert!(is_connected_within(&g, &NodeSet::from_nodes(3, [NodeId(1)])));
+        assert!(is_connected_within(
+            &g,
+            &NodeSet::from_nodes(3, [NodeId(1)])
+        ));
         assert!(!is_connected(&g)); // three isolated nodes
     }
 

@@ -49,7 +49,10 @@ pub struct CycleLimits {
 
 impl Default for CycleLimits {
     fn default() -> Self {
-        CycleLimits { max_len: usize::MAX, max_cycles: 1_000_000 }
+        CycleLimits {
+            max_len: usize::MAX,
+            max_cycles: 1_000_000,
+        }
     }
 }
 
@@ -180,7 +183,13 @@ mod tests {
         let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)]);
         let all = enumerate_cycles(&g, CycleLimits::default());
         assert_eq!(all.len(), 3); // the 6-cycle and two 4-cycles
-        let small = enumerate_cycles(&g, CycleLimits { max_len: 4, max_cycles: 100 });
+        let small = enumerate_cycles(
+            &g,
+            CycleLimits {
+                max_len: 4,
+                max_cycles: 100,
+            },
+        );
         assert!(small.iter().all(|c| c.len() <= 4));
         assert_eq!(small.len(), 2);
     }
@@ -188,7 +197,13 @@ mod tests {
     #[test]
     fn max_cycles_limit_respected() {
         let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
-        let cs = enumerate_cycles(&g, CycleLimits { max_len: usize::MAX, max_cycles: 2 });
+        let cs = enumerate_cycles(
+            &g,
+            CycleLimits {
+                max_len: usize::MAX,
+                max_cycles: 2,
+            },
+        );
         assert_eq!(cs.len(), 2);
     }
 

@@ -40,7 +40,10 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} out of range (graph has {node_count} nodes)")
             }
             GraphError::NotBipartite { witness } => {
-                write!(f, "graph is not bipartite (odd cycle through node {witness})")
+                write!(
+                    f,
+                    "graph is not bipartite (odd cycle through node {witness})"
+                )
             }
             GraphError::SameSideEdge(a, b) => {
                 write!(f, "edge ({a}, {b}) joins two nodes on the same side")
@@ -65,11 +68,17 @@ mod tests {
         assert!(e.to_string().contains("self-loop"));
         let e = GraphError::NotBipartite { witness: NodeId(1) };
         assert!(e.to_string().contains("odd cycle"));
-        let e = GraphError::NodeOutOfRange { node: NodeId(9), node_count: 2 };
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId(9),
+            node_count: 2,
+        };
         assert!(e.to_string().contains("out of range"));
         let e = GraphError::SameSideEdge(NodeId(0), NodeId(1));
         assert!(e.to_string().contains("same side"));
-        let e = GraphError::PartitionSizeMismatch { provided: 1, expected: 2 };
+        let e = GraphError::PartitionSizeMismatch {
+            provided: 1,
+            expected: 2,
+        };
         assert!(e.to_string().contains("partition"));
     }
 }

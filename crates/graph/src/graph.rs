@@ -13,23 +13,54 @@ use crate::{GraphBuilder, NodeId};
 ///
 /// Node labels exist purely for presentation (figures, DOT output, query
 /// interfaces); algorithms only ever touch the dense [`NodeId`] indices.
+///
+/// Adjacency is stored in CSR (compressed sparse row) form: one flat
+/// `targets` array holding every adjacency list back to back, indexed by a
+/// per-node `offsets` table. `neighbors(v)` is a slice into `targets`, so
+/// traversals walk one contiguous allocation instead of chasing a pointer
+/// per node.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Graph {
     labels: Vec<String>,
-    /// Sorted, deduplicated adjacency lists.
-    adj: Vec<Vec<NodeId>>,
+    /// Row offsets: the neighbors of node `i` occupy
+    /// `targets[offsets[i] as usize..offsets[i + 1] as usize]`.
+    offsets: Vec<u32>,
+    /// All adjacency lists, back to back; each row sorted and deduplicated.
+    targets: Vec<NodeId>,
     num_edges: usize,
 }
 
 impl Graph {
     pub(crate) fn from_parts(labels: Vec<String>, adj: Vec<Vec<NodeId>>, num_edges: usize) -> Self {
         debug_assert_eq!(labels.len(), adj.len());
-        Graph { labels, adj, num_edges }
+        let total: usize = adj.iter().map(Vec::len).sum();
+        assert!(
+            u32::try_from(total).is_ok(),
+            "graph too large for u32 CSR offsets ({total} directed arcs)"
+        );
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        let mut targets = Vec::with_capacity(total);
+        offsets.push(0);
+        for list in adj {
+            targets.extend_from_slice(&list);
+            offsets.push(targets.len() as u32);
+        }
+        Graph {
+            labels,
+            offsets,
+            targets,
+            num_edges,
+        }
     }
 
     /// A graph with no nodes and no edges.
     pub fn empty() -> Self {
-        Graph { labels: Vec::new(), adj: Vec::new(), num_edges: 0 }
+        Graph {
+            labels: Vec::new(),
+            offsets: vec![0],
+            targets: Vec::new(),
+            num_edges: 0,
+        }
     }
 
     /// Starts building a new graph.
@@ -40,7 +71,7 @@ impl Graph {
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {
-        self.adj.len()
+        self.labels.len()
     }
 
     /// Number of (undirected, distinct) edges.
@@ -52,12 +83,12 @@ impl Graph {
     /// `true` when the graph has no nodes.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.adj.is_empty()
+        self.labels.is_empty()
     }
 
     /// Iterates over all node identifiers in increasing order.
     pub fn nodes(&self) -> impl ExactSizeIterator<Item = NodeId> + Clone + '_ {
-        (0..self.adj.len()).map(NodeId::from_index)
+        (0..self.labels.len()).map(NodeId::from_index)
     }
 
     /// The label attached to `v`.
@@ -69,32 +100,41 @@ impl Graph {
     /// Looks up a node by its label (linear scan; labels need not be unique,
     /// the first match wins). Intended for tests and figure construction.
     pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
-        self.labels.iter().position(|l| l == label).map(NodeId::from_index)
+        self.labels
+            .iter()
+            .position(|l| l == label)
+            .map(NodeId::from_index)
     }
 
     /// The sorted adjacency list of `v` — the set `Adj(v)` of the paper.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.adj[v.index()]
+        let i = v.index();
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
     }
 
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        let i = v.index();
+        (self.offsets[i + 1] - self.offsets[i]) as usize
     }
 
     /// `true` iff `a` and `b` are adjacent. `O(log deg)`.
     #[inline]
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        self.adj[a.index()].binary_search(&b).is_ok()
+        self.neighbors(a).binary_search(&b).is_ok()
     }
 
     /// Iterates every undirected edge once, as ordered pairs `(a, b)` with
     /// `a < b`, in lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.nodes().flat_map(move |a| {
-            self.neighbors(a).iter().copied().filter(move |&b| a < b).map(move |b| (a, b))
+            self.neighbors(a)
+                .iter()
+                .copied()
+                .filter(move |&b| a < b)
+                .map(move |b| (a, b))
         })
     }
 
@@ -115,7 +155,16 @@ impl Graph {
     /// `v` **and to no other alive node** (private neighbors of `v` within
     /// the subgraph induced by `alive`).
     pub fn private_neighbors(&self, v: NodeId, alive: &crate::NodeSet) -> crate::NodeSet {
-        let mut out = crate::NodeSet::new(self.node_count());
+        let mut buf = Vec::new();
+        self.private_neighbors_into(v, alive, &mut buf);
+        crate::NodeSet::from_nodes(self.node_count(), buf)
+    }
+
+    /// Allocation-free variant of [`Graph::private_neighbors`]: clears
+    /// `out` and fills it with the private neighbors of `v`, in increasing
+    /// order.
+    pub fn private_neighbors_into(&self, v: NodeId, alive: &crate::NodeSet, out: &mut Vec<NodeId>) {
+        out.clear();
         'cand: for &u in self.neighbors(v) {
             if !alive.contains(u) {
                 continue;
@@ -125,9 +174,8 @@ impl Graph {
                     continue 'cand;
                 }
             }
-            out.insert(u);
+            out.push(u);
         }
-        out
     }
 }
 

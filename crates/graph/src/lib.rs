@@ -39,12 +39,15 @@ pub mod spanning;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
+pub mod workspace;
 
 pub use biconnected::{biconnected_components, Biconnected};
 pub use bipartite::{BipartiteGraph, Side};
 pub use builder::GraphBuilder;
 pub use connectivity::{
-    connected_components, is_connected, is_connected_within, is_cover, terminals_connected,
+    component_of, component_of_in, connected_components, connected_components_in, is_connected,
+    is_connected_within, is_connected_within_in, is_cover, is_cover_in, terminals_connected,
+    terminals_connected_in,
 };
 pub use cycles::{chords_of_cycle, enumerate_cycles, Cycle, CycleLimits};
 pub use error::GraphError;
@@ -55,4 +58,5 @@ pub use paths::{all_pairs_distances, bfs_distances, shortest_path, INFINITE_DIST
 pub use spanning::spanning_tree;
 pub use stats::{graph_stats, GraphStats};
 pub use subgraph::{induced_subgraph, InducedSubgraph};
-pub use traversal::{bfs_order, dfs_order};
+pub use traversal::{bfs_order, bfs_order_in, dfs_order};
+pub use workspace::{Workspace, WorkspaceStats};

@@ -22,7 +22,11 @@ pub struct NodeSet {
 impl NodeSet {
     /// The empty set over a universe of `capacity` nodes.
     pub fn new(capacity: usize) -> Self {
-        NodeSet { words: vec![0; capacity.div_ceil(WORD_BITS)], capacity, len: 0 }
+        NodeSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+            len: 0,
+        }
     }
 
     /// The full set `{0, …, capacity-1}`.
@@ -56,6 +60,23 @@ impl NodeSet {
         self.capacity
     }
 
+    /// Removes every member, keeping the capacity (and allocation).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Re-fits this set to a universe of `capacity` nodes and clears it,
+    /// reusing the word allocation where possible. This is how the
+    /// workspace set pool recycles sets across graphs of different sizes
+    /// without tripping the universe-equality assertions.
+    pub fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(WORD_BITS), 0);
+        self.capacity = capacity;
+        self.len = 0;
+    }
+
     /// Number of members.
     #[inline]
     pub fn len(&self) -> usize {
@@ -72,7 +93,11 @@ impl NodeSet {
     #[inline]
     pub fn contains(&self, v: NodeId) -> bool {
         let i = v.index();
-        debug_assert!(i < self.capacity, "node {v:?} beyond capacity {}", self.capacity);
+        debug_assert!(
+            i < self.capacity,
+            "node {v:?} beyond capacity {}",
+            self.capacity
+        );
         (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
     }
 
@@ -80,7 +105,11 @@ impl NodeSet {
     #[inline]
     pub fn insert(&mut self, v: NodeId) -> bool {
         let i = v.index();
-        assert!(i < self.capacity, "node {v:?} beyond capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "node {v:?} beyond capacity {}",
+            self.capacity
+        );
         let w = &mut self.words[i / WORD_BITS];
         let mask = 1u64 << (i % WORD_BITS);
         if *w & mask == 0 {
@@ -110,9 +139,13 @@ impl NodeSet {
 
     /// Iterates members in increasing index order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.words.iter().enumerate().flat_map(|(wi, &word)| {
-            BitIter { word, base: wi * WORD_BITS }
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .flat_map(|(wi, &word)| BitIter {
+                word,
+                base: wi * WORD_BITS,
+            })
     }
 
     /// Collects the members into a vector (increasing order).
@@ -177,7 +210,10 @@ impl NodeSet {
     /// `true` iff every member of `self` is in `other`.
     pub fn is_subset_of(&self, other: &NodeSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "NodeSet universes differ");
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// `true` iff the two sets share no member.
@@ -190,7 +226,9 @@ impl NodeSet {
     pub fn first(&self) -> Option<NodeId> {
         for (wi, &word) in self.words.iter().enumerate() {
             if word != 0 {
-                return Some(NodeId::from_index(wi * WORD_BITS + word.trailing_zeros() as usize));
+                return Some(NodeId::from_index(
+                    wi * WORD_BITS + word.trailing_zeros() as usize,
+                ));
             }
         }
         None

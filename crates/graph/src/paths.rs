@@ -113,7 +113,10 @@ mod tests {
             shortest_path(&g, &NodeSet::full(3), NodeId(1), NodeId(1)),
             Some(vec![NodeId(1)])
         );
-        assert_eq!(shortest_path(&g, &NodeSet::full(3), NodeId(0), NodeId(2)), None);
+        assert_eq!(
+            shortest_path(&g, &NodeSet::full(3), NodeId(0), NodeId(2)),
+            None
+        );
     }
 
     #[test]

@@ -45,7 +45,11 @@ pub fn induced_subgraph(g: &Graph, nodes: &NodeSet) -> InducedSubgraph {
             }
         }
     }
-    InducedSubgraph { graph: b.build(), to_parent, from_parent }
+    InducedSubgraph {
+        graph: b.build(),
+        to_parent,
+        from_parent,
+    }
 }
 
 #[cfg(test)]

@@ -1,27 +1,30 @@
 //! Breadth-first and depth-first traversals, optionally restricted to an
 //! alive mask.
 
-use crate::{Graph, NodeId, NodeSet};
-use std::collections::VecDeque;
+use crate::{Graph, NodeId, NodeSet, Workspace};
 
 /// Nodes reachable from `start` inside the subgraph induced by `alive`, in
 /// BFS order. `start` must be alive.
+///
+/// Thin wrapper over [`bfs_order_in`] with a transient workspace; hot
+/// paths should hold a [`Workspace`] and call the `_in` variant instead.
 pub fn bfs_order(g: &Graph, alive: &NodeSet, start: NodeId) -> Vec<NodeId> {
-    debug_assert!(alive.contains(start), "BFS start node must be alive");
-    let mut seen = NodeSet::new(g.node_count());
-    let mut order = Vec::new();
-    let mut queue = VecDeque::new();
-    seen.insert(start);
-    queue.push_back(start);
-    while let Some(v) = queue.pop_front() {
-        order.push(v);
-        for &u in g.neighbors(v) {
-            if alive.contains(u) && seen.insert(u) {
-                queue.push_back(u);
-            }
-        }
-    }
-    order
+    let mut ws = Workspace::new();
+    bfs_order_in(&mut ws, g, alive, start).to_vec()
+}
+
+/// Allocation-free [`bfs_order`]: the returned slice borrows the
+/// workspace's queue and stays valid until the workspace's next traversal.
+pub fn bfs_order_in<'ws>(
+    ws: &'ws mut Workspace,
+    g: &Graph,
+    alive: &NodeSet,
+    start: NodeId,
+) -> &'ws [NodeId] {
+    ws.begin_visit(g.node_count());
+    ws.queue.clear();
+    ws.bfs_into_queue(g, alive, start);
+    &ws.queue
 }
 
 /// Nodes reachable from `start` inside the subgraph induced by `alive`, in

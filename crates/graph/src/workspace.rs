@@ -1,0 +1,297 @@
+//! Reusable scratch state for traversals and connectivity tests.
+//!
+//! The paper's elimination algorithms (Algorithms 1 and 2) run `O(|V|)`
+//! connectivity tests, each of which is a BFS. Allocating a fresh visited
+//! set, queue, and output vector per BFS dominates the runtime on small and
+//! medium instances, so every traversal in this crate has an `*_in` variant
+//! taking a [`Workspace`]: an epoch-stamped visited array (cleared in `O(1)`
+//! by bumping the epoch, not by zeroing), a reusable queue whose push order
+//! *is* the BFS order, and a pool of scratch buffers. After warm-up, the
+//! `*_in` entry points perform no heap allocation at all.
+//!
+//! The original allocating signatures (`bfs_order`, `component_of`, …)
+//! remain available as thin wrappers over a transient workspace.
+
+use crate::{Graph, NodeId, NodeSet};
+
+/// Counters describing the traffic a [`Workspace`] has served. Deltas of
+/// these before/after a solve are surfaced as `SolveStats` by `mcc-core`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Number of BFS sweeps run through this workspace.
+    pub bfs_runs: u64,
+    /// Number of elimination-candidate tests recorded by the Steiner
+    /// algorithms (incremented by `mcc-steiner`, not by this crate).
+    pub elimination_steps: u64,
+}
+
+/// Reusable scratch buffers for graph traversals.
+///
+/// A workspace is tied to no particular graph: capacity grows on demand to
+/// the largest `node_count` seen, and all buffers are retained across
+/// calls, so steady-state use allocates nothing.
+///
+/// # Epoch marks
+///
+/// The visited array is exposed through [`Workspace::begin_visit`] /
+/// [`Workspace::mark`] / [`Workspace::is_marked`] so that recognizers in
+/// other crates can use it for their own sweeps. Marks are only valid until
+/// the next `begin_visit` — and every `*_in` traversal in this crate calls
+/// `begin_visit` internally, so do not interleave an external mark phase
+/// with workspace traversals.
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    /// `visited[v] == epoch` means `v` is marked in the current sweep.
+    visited: Vec<u32>,
+    epoch: u32,
+    /// BFS queue; after a sweep, `queue[..]` is the BFS order (the head
+    /// pointer is a local index, so pushed order and visit order agree).
+    pub(crate) queue: Vec<NodeId>,
+    /// Pool of `Vec<NodeId>` scratch buffers (see [`Workspace::take_node_buf`]).
+    node_bufs: Vec<Vec<NodeId>>,
+    /// Pool of `NodeSet` scratch sets (see [`Workspace::take_set_buf`]).
+    set_bufs: Vec<NodeSet>,
+    /// Pool of `Vec<usize>` scratch buffers (see [`Workspace::take_usize_buf`]).
+    usize_bufs: Vec<Vec<usize>>,
+    /// Pool of bucket lists for the ordering algorithms (MCS, LexBFS).
+    bucket_lists: Vec<Vec<Vec<NodeId>>>,
+    /// Traffic counters.
+    pub stats: WorkspaceStats,
+}
+
+impl Default for Workspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Workspace {
+            visited: Vec::new(),
+            epoch: 0,
+            queue: Vec::new(),
+            node_bufs: Vec::new(),
+            set_bufs: Vec::new(),
+            usize_bufs: Vec::new(),
+            bucket_lists: Vec::new(),
+            stats: WorkspaceStats::default(),
+        }
+    }
+
+    /// A workspace pre-sized for graphs of up to `n` nodes.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut ws = Self::new();
+        ws.visited.resize(n, 0);
+        ws.queue.reserve(n);
+        ws
+    }
+
+    /// Start a new visited sweep over a universe of `n` nodes. `O(1)`
+    /// except on capacity growth or epoch wrap-around.
+    pub fn begin_visit(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.visited.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Mark `v` in the current sweep; returns `true` if it was unmarked.
+    #[inline]
+    pub fn mark(&mut self, v: NodeId) -> bool {
+        let slot = &mut self.visited[v.index()];
+        let fresh = *slot != self.epoch;
+        *slot = self.epoch;
+        fresh
+    }
+
+    /// `true` iff `v` was marked since the last [`Workspace::begin_visit`].
+    #[inline]
+    pub fn is_marked(&self, v: NodeId) -> bool {
+        self.visited[v.index()] == self.epoch
+    }
+
+    /// Borrow a scratch `Vec<NodeId>` from the pool (empty, capacity
+    /// retained from earlier use). Pair with [`Workspace::return_node_buf`].
+    pub fn take_node_buf(&mut self) -> Vec<NodeId> {
+        let mut buf = self.node_bufs.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Return a buffer taken with [`Workspace::take_node_buf`].
+    pub fn return_node_buf(&mut self, buf: Vec<NodeId>) {
+        self.node_bufs.push(buf);
+    }
+
+    /// Borrow a scratch `NodeSet` of capacity exactly `n` from the pool
+    /// (cleared; word storage reused). Pair with
+    /// [`Workspace::return_set_buf`].
+    pub fn take_set_buf(&mut self, n: usize) -> NodeSet {
+        match self.set_bufs.pop() {
+            Some(mut s) => {
+                s.reset(n);
+                s
+            }
+            None => NodeSet::new(n),
+        }
+    }
+
+    /// Return a set taken with [`Workspace::take_set_buf`].
+    pub fn return_set_buf(&mut self, set: NodeSet) {
+        self.set_bufs.push(set);
+    }
+
+    /// Borrow a scratch `Vec<usize>` from the pool (empty, capacity
+    /// retained). Pair with [`Workspace::return_usize_buf`].
+    pub fn take_usize_buf(&mut self) -> Vec<usize> {
+        let mut buf = self.usize_bufs.pop().unwrap_or_default();
+        buf.clear();
+        buf
+    }
+
+    /// Return a buffer taken with [`Workspace::take_usize_buf`].
+    pub fn return_usize_buf(&mut self, buf: Vec<usize>) {
+        self.usize_bufs.push(buf);
+    }
+
+    /// Borrow a bucket list (a `Vec<Vec<NodeId>>` with every inner vector
+    /// emptied but its capacity retained, outer length preserved from
+    /// earlier use). Pair with [`Workspace::return_bucket_list`].
+    pub fn take_bucket_list(&mut self) -> Vec<Vec<NodeId>> {
+        let mut buckets = self.bucket_lists.pop().unwrap_or_default();
+        for b in &mut buckets {
+            b.clear();
+        }
+        buckets
+    }
+
+    /// Return a bucket list taken with [`Workspace::take_bucket_list`].
+    pub fn return_bucket_list(&mut self, buckets: Vec<Vec<NodeId>>) {
+        self.bucket_lists.push(buckets);
+    }
+
+    /// Current scratch footprint in bytes. Buffers only ever grow, so this
+    /// is also the peak footprint.
+    pub fn scratch_bytes(&self) -> usize {
+        let node_bufs: usize = self.node_bufs.iter().map(|b| b.capacity() * 4).sum();
+        let set_bufs: usize = self
+            .set_bufs
+            .iter()
+            .map(|s| s.capacity().div_ceil(64) * 8)
+            .sum();
+        let usize_bufs: usize = self
+            .usize_bufs
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<usize>())
+            .sum();
+        let buckets: usize = self
+            .bucket_lists
+            .iter()
+            .flat_map(|bl| bl.iter().map(|b| b.capacity() * 4))
+            .sum();
+        self.visited.capacity() * 4
+            + self.queue.capacity() * 4
+            + node_bufs
+            + set_bufs
+            + usize_bufs
+            + buckets
+    }
+
+    /// Core BFS inside the *current* sweep: traverses the component of
+    /// `start` within `alive`, appending newly visited nodes to the queue.
+    /// Callers that need several components in one sweep (e.g. connected
+    /// components) call [`Workspace::begin_visit`] once and this repeatedly.
+    pub(crate) fn bfs_into_queue(&mut self, g: &Graph, alive: &NodeSet, start: NodeId) {
+        debug_assert!(alive.contains(start), "BFS start node must be alive");
+        self.stats.bfs_runs += 1;
+        let mut head = self.queue.len();
+        if self.mark(start) {
+            self.queue.push(start);
+        }
+        while head < self.queue.len() {
+            let v = self.queue[head];
+            head += 1;
+            for &u in g.neighbors(v) {
+                if alive.contains(u) && self.mark(u) {
+                    self.queue.push(u);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn marks_reset_per_sweep() {
+        let mut ws = Workspace::new();
+        ws.begin_visit(4);
+        assert!(ws.mark(NodeId(2)));
+        assert!(!ws.mark(NodeId(2)));
+        assert!(ws.is_marked(NodeId(2)));
+        assert!(!ws.is_marked(NodeId(3)));
+        ws.begin_visit(4);
+        assert!(!ws.is_marked(NodeId(2)));
+    }
+
+    #[test]
+    fn epoch_wraparound_clears_visited() {
+        let mut ws = Workspace::new();
+        ws.begin_visit(2);
+        ws.mark(NodeId(0));
+        ws.epoch = u32::MAX; // simulate a long-lived workspace
+        ws.begin_visit(2);
+        assert!(!ws.is_marked(NodeId(0)));
+        assert!(ws.mark(NodeId(0)));
+    }
+
+    #[test]
+    fn buffer_pools_recycle() {
+        let mut ws = Workspace::new();
+        let mut b = ws.take_node_buf();
+        b.extend([NodeId(1), NodeId(2)]);
+        let cap = b.capacity();
+        ws.return_node_buf(b);
+        let b2 = ws.take_node_buf();
+        assert!(b2.is_empty());
+        assert_eq!(b2.capacity(), cap);
+        ws.return_node_buf(b2);
+
+        let s = ws.take_set_buf(10);
+        ws.return_set_buf(s);
+        let s2 = ws.take_set_buf(5);
+        assert!(s2.is_empty());
+        assert!(s2.capacity() >= 5);
+    }
+
+    #[test]
+    fn scratch_bytes_reflects_growth() {
+        let mut ws = Workspace::new();
+        let before = ws.scratch_bytes();
+        ws.begin_visit(1000);
+        assert!(ws.scratch_bytes() >= before + 4000);
+    }
+
+    #[test]
+    fn bfs_into_queue_accumulates_components() {
+        let g = graph_from_edges(5, &[(0, 1), (2, 3)]);
+        let alive = NodeSet::full(5);
+        let mut ws = Workspace::new();
+        ws.begin_visit(5);
+        ws.queue.clear();
+        ws.bfs_into_queue(&g, &alive, NodeId(0));
+        assert_eq!(ws.queue, vec![NodeId(0), NodeId(1)]);
+        ws.bfs_into_queue(&g, &alive, NodeId(2));
+        assert_eq!(ws.queue, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(ws.stats.bfs_runs, 2);
+    }
+}

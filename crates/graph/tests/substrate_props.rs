@@ -3,9 +3,10 @@
 //! consistency. Everything downstream leans on these primitives.
 
 use mcc_graph::{
-    bfs_distances, bfs_order, biconnected_components, chords_of_cycle, connected_components,
-    dfs_order, enumerate_cycles, induced_subgraph, is_connected_within, shortest_path,
-    spanning_tree, CycleLimits, Graph, GraphBuilder, NodeId, NodeSet, INFINITE_DISTANCE,
+    bfs_distances, bfs_order, bfs_order_in, biconnected_components, chords_of_cycle,
+    connected_components, dfs_order, enumerate_cycles, induced_subgraph, is_connected_within,
+    shortest_path, spanning_tree, terminals_connected, terminals_connected_in, CycleLimits, Graph,
+    GraphBuilder, NodeId, NodeSet, Workspace, INFINITE_DISTANCE,
 };
 use proptest::prelude::*;
 
@@ -47,6 +48,14 @@ fn graph_with_set() -> impl Strategy<Value = (Graph, NodeSet)> {
             );
             (g.clone(), s)
         })
+    })
+}
+
+/// A node count plus a messy edge list: duplicates, both orientations,
+/// self-loop attempts — everything `GraphBuilder::build` must clean up.
+fn messy_edge_list() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..=8).prop_flat_map(|n| {
+        proptest::collection::vec((0usize..n, 0usize..n), 0..=40).prop_map(move |pairs| (n, pairs))
     })
 }
 
@@ -189,6 +198,78 @@ proptest! {
             // base minus the vanished singleton case.
             prop_assert!(now > base - 1, "cut {cut:?} did not separate");
         }
+    }
+
+    /// The CSR build is behaviourally identical to a naive adjacency-set
+    /// reference, even under duplicate and unordered edge insertion:
+    /// `neighbors(v)` comes out sorted and deduplicated, and
+    /// `degree`/`edge_count`/`has_edge` all match.
+    #[test]
+    fn csr_build_matches_naive_reference((n, pairs) in messy_edge_list()) {
+        let mut b = GraphBuilder::with_nodes(n);
+        let mut naive: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+        for &(x, y) in &pairs {
+            if x == y {
+                continue; // self-loops are rejected by the builder
+            }
+            b.add_edge(NodeId::from_index(x), NodeId::from_index(y)).expect("in range");
+            naive[x].insert(y);
+            naive[y].insert(x);
+        }
+        let g = b.build();
+        prop_assert_eq!(g.node_count(), n);
+        let naive_edges: usize = naive.iter().map(|s| s.len()).sum::<usize>() / 2;
+        prop_assert_eq!(g.edge_count(), naive_edges);
+        for v in 0..n {
+            let nbrs = g.neighbors(NodeId::from_index(v));
+            prop_assert!(nbrs.windows(2).all(|w| w[0] < w[1]), "not sorted/deduped: {:?}", nbrs);
+            let expected: Vec<NodeId> = naive[v].iter().map(|&u| NodeId::from_index(u)).collect();
+            prop_assert_eq!(nbrs, &expected[..]);
+            prop_assert_eq!(g.degree(NodeId::from_index(v)), naive[v].len());
+            for u in 0..n {
+                prop_assert_eq!(
+                    g.has_edge(NodeId::from_index(v), NodeId::from_index(u)),
+                    naive[v].contains(&u)
+                );
+            }
+        }
+    }
+
+    /// The workspace `_in` traversal variants agree with the allocating
+    /// originals, including across repeated reuse of one workspace.
+    #[test]
+    fn workspace_variants_match_allocating((g, alive) in graph_with_set(), tcoins in proptest::collection::vec(proptest::bool::ANY, 8)) {
+        let mut ws = Workspace::new();
+        if let Some(start) = alive.first() {
+            // Run twice through the same workspace: reuse must not leak
+            // marks between sweeps.
+            for _ in 0..2 {
+                let fresh = bfs_order(&g, &alive, start);
+                let reused = bfs_order_in(&mut ws, &g, &alive, start).to_vec();
+                prop_assert_eq!(&fresh, &reused);
+            }
+        }
+        let terminals = NodeSet::from_nodes(
+            g.node_count(),
+            tcoins
+                .iter()
+                .take(g.node_count())
+                .enumerate()
+                .filter(|(_, &c)| c)
+                .map(|(i, _)| NodeId::from_index(i)),
+        );
+        // Definitional reference: all terminals alive and inside the BFS
+        // component of the first one.
+        let reference = terminals.is_subset_of(&alive)
+            && match terminals.first() {
+                None => true,
+                Some(t0) => {
+                    let comp = NodeSet::from_nodes(g.node_count(), bfs_order(&g, &alive, t0));
+                    terminals.is_subset_of(&comp)
+                }
+            };
+        prop_assert_eq!(terminals_connected(&g, &alive, &terminals), reference);
+        prop_assert_eq!(terminals_connected_in(&mut ws, &g, &alive, &terminals), reference);
     }
 
     /// Induced subgraphs keep exactly the internal edges.

@@ -103,7 +103,8 @@ pub fn is_beta_acyclic(h: &Hypergraph) -> bool {
 
 /// Finds a nest point of `h`, if any.
 pub fn find_nest_point(h: &Hypergraph) -> Option<NodeId> {
-    h.nodes().find(|&v| !h.is_isolated(v) && is_nest_point(h, v))
+    h.nodes()
+        .find(|&v| !h.is_isolated(v) && is_nest_point(h, v))
 }
 
 /// `true` iff the edges containing `v` form an inclusion chain.
@@ -187,7 +188,12 @@ mod tests {
     fn covered_triangle() -> Hypergraph {
         hypergraph_from_lists(
             &["a", "b", "c"],
-            &[("x", &[0, 1]), ("y", &[1, 2]), ("z", &[0, 2]), ("w", &[0, 1, 2])],
+            &[
+                ("x", &[0, 1]),
+                ("y", &[1, 2]),
+                ("z", &[0, 2]),
+                ("w", &[0, 1, 2]),
+            ],
         )
     }
 
@@ -256,8 +262,10 @@ mod tests {
             let m = h.edge_count();
             let mut all_alpha = true;
             for mask in 0u32..(1 << m) {
-                let keep: Vec<EdgeId> =
-                    (0..m).filter(|&i| mask & (1 << i) != 0).map(EdgeId::from_index).collect();
+                let keep: Vec<EdgeId> = (0..m)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(EdgeId::from_index)
+                    .collect();
                 if !is_alpha_acyclic(&h.partial(&keep)) {
                     all_alpha = false;
                     break;

@@ -136,7 +136,10 @@ fn incidence_neighbors(h: &Hypergraph, n: usize, v: usize) -> Vec<usize> {
             .map(|e| n + e.index())
             .collect()
     } else {
-        h.edge(EdgeId::from_index(v - n)).iter().map(|u| u.index()).collect()
+        h.edge(EdgeId::from_index(v - n))
+            .iter()
+            .map(|u| u.index())
+            .collect()
     }
 }
 
@@ -238,7 +241,10 @@ fn pick_nodes(
 ) -> Option<BergeCycle> {
     let q = seq.len();
     if i == q {
-        let c = BergeCycle { edges: seq.to_vec(), nodes: nodes.clone() };
+        let c = BergeCycle {
+            edges: seq.to_vec(),
+            nodes: nodes.clone(),
+        };
         return accept(&c).then_some(c);
     }
     let e_i = seq[i];
@@ -273,10 +279,7 @@ mod tests {
 
     #[test]
     fn chain_is_berge_acyclic() {
-        let h = hypergraph_from_lists(
-            &["a", "b", "c"],
-            &[("x", &[0, 1]), ("y", &[1, 2])],
-        );
+        let h = hypergraph_from_lists(&["a", "b", "c"], &[("x", &[0, 1]), ("y", &[1, 2])]);
         assert!(is_berge_acyclic(&h));
         assert!(find_beta_cycle(&h).is_none());
         assert!(find_gamma_cycle(&h).is_none());
@@ -313,7 +316,12 @@ mod tests {
         // purity only quantifies over sequence edges).
         let h = hypergraph_from_lists(
             &["a", "b", "c"],
-            &[("x", &[0, 1]), ("y", &[1, 2]), ("z", &[0, 2]), ("w", &[0, 1, 2])],
+            &[
+                ("x", &[0, 1]),
+                ("y", &[1, 2]),
+                ("z", &[0, 2]),
+                ("w", &[0, 1, 2]),
+            ],
         );
         assert!(find_beta_cycle(&h).is_some());
         assert!(find_gamma_cycle(&h).is_some());
@@ -341,7 +349,10 @@ mod tests {
     #[test]
     fn validity_rejects_malformed_cycles() {
         let h = triangle();
-        let bogus = BergeCycle { edges: vec![EdgeId(0)], nodes: vec![NodeId(0)] };
+        let bogus = BergeCycle {
+            edges: vec![EdgeId(0)],
+            nodes: vec![NodeId(0)],
+        };
         assert!(!bogus.is_valid(&h));
         let dup_edges = BergeCycle {
             edges: vec![EdgeId(0), EdgeId(0)],

@@ -110,7 +110,13 @@ mod tests {
         let mut b = HypergraphBuilder::new();
         b.add_node("a");
         let err = b.add_edge("e", [NodeId(7)]).unwrap_err();
-        assert_eq!(err, HypergraphError::NodeOutOfRange { node: NodeId(7), node_count: 1 });
+        assert_eq!(
+            err,
+            HypergraphError::NodeOutOfRange {
+                node: NodeId(7),
+                node_count: 1
+            }
+        );
     }
 
     #[test]

@@ -42,9 +42,7 @@ pub fn find_conformality_violation(h: &Hypergraph) -> Option<NodeSet> {
                 if need.len() <= 1 {
                     continue; // singletons/empties lie in some edge or none needed
                 }
-                let covered = h
-                    .edge_ids()
-                    .any(|e| need.is_subset_of(h.edge(e)));
+                let covered = h.edge_ids().any(|e| need.is_subset_of(h.edge(e)));
                 if !covered {
                     return Some(need);
                 }
@@ -90,13 +88,7 @@ pub fn maximal_cliques(g: &Graph) -> Vec<NodeSet> {
     out
 }
 
-fn bron_kerbosch(
-    nbr: &[NodeSet],
-    r: &mut NodeSet,
-    p: NodeSet,
-    x: NodeSet,
-    out: &mut Vec<NodeSet>,
-) {
+fn bron_kerbosch(nbr: &[NodeSet], r: &mut NodeSet, p: NodeSet, x: NodeSet, out: &mut Vec<NodeSet>) {
     if p.is_empty() && x.is_empty() {
         out.push(r.clone());
         return;
@@ -152,7 +144,12 @@ mod tests {
     fn covered_triangle_is_conformal() {
         let h = hypergraph_from_lists(
             &["a", "b", "c"],
-            &[("x", &[0, 1]), ("y", &[1, 2]), ("z", &[0, 2]), ("w", &[0, 1, 2])],
+            &[
+                ("x", &[0, 1]),
+                ("y", &[1, 2]),
+                ("z", &[0, 2]),
+                ("w", &[0, 1, 2]),
+            ],
         );
         assert!(is_conformal(&h));
         assert!(is_conformal_bruteforce(&h));

@@ -3,6 +3,10 @@
 use crate::{EdgeId, Hypergraph, HypergraphError};
 use mcc_graph::NodeSet;
 
+/// A dual-RIP node ordering with its per-position witnesses (`None` where
+/// the prefix-intersection is empty). See [`dual_node_ordering`].
+pub type DualNodeOrdering = (Vec<mcc_graph::NodeId>, Vec<Option<mcc_graph::NodeId>>);
+
 /// Computes the dual hypergraph `H'` of `H` (Definition 3): nodes of `H'`
 /// correspond to edges of `H`, edges of `H'` correspond to nodes of `H`,
 /// and dual-node `n'` (for edge `e` of `H`) belongs to dual-edge (for node
@@ -23,10 +27,8 @@ pub fn dual(h: &Hypergraph) -> Result<Hypergraph, HypergraphError> {
             return Err(HypergraphError::IsolatedNode(v));
         }
     }
-    let dual_node_labels: Vec<String> =
-        h.edge_ids().map(|e| h.edge_label(e).to_string()).collect();
-    let dual_edge_labels: Vec<String> =
-        h.nodes().map(|v| h.node_label(v).to_string()).collect();
+    let dual_node_labels: Vec<String> = h.edge_ids().map(|e| h.edge_label(e).to_string()).collect();
+    let dual_edge_labels: Vec<String> = h.nodes().map(|v| h.node_label(v).to_string()).collect();
     let dual_edges: Vec<NodeSet> = h
         .nodes()
         .map(|v| {
@@ -38,7 +40,11 @@ pub fn dual(h: &Hypergraph) -> Result<Hypergraph, HypergraphError> {
             )
         })
         .collect();
-    Ok(Hypergraph::from_parts(dual_node_labels, dual_edge_labels, dual_edges))
+    Ok(Hypergraph::from_parts(
+        dual_node_labels,
+        dual_edge_labels,
+        dual_edges,
+    ))
 }
 
 /// The paper's **dual running intersection property** (displayed after
@@ -53,9 +59,7 @@ pub fn dual(h: &Hypergraph) -> Result<Hypergraph, HypergraphError> {
 ///
 /// Returns the node ordering together with the witness for each
 /// position (`None` for positions whose prefix-intersection is empty).
-pub fn dual_node_ordering(
-    h: &Hypergraph,
-) -> Result<Option<(Vec<mcc_graph::NodeId>, Vec<Option<mcc_graph::NodeId>>)>, HypergraphError> {
+pub fn dual_node_ordering(h: &Hypergraph) -> Result<Option<DualNodeOrdering>, HypergraphError> {
     let d = dual(h)?;
     let Some(jt) = crate::running_intersection_ordering(&d) else {
         return Ok(None);
@@ -122,7 +126,8 @@ pub fn check_dual_node_ordering(
 pub fn index_identical(a: &Hypergraph, b: &Hypergraph) -> bool {
     a.node_count() == b.node_count()
         && a.edge_count() == b.edge_count()
-        && a.edge_ids().all(|e| a.edge(e) == b.edge(EdgeId::from_index(e.index())))
+        && a.edge_ids()
+            .all(|e| a.edge(e) == b.edge(EdgeId::from_index(e.index())))
 }
 
 #[cfg(test)]
@@ -141,7 +146,7 @@ mod tests {
         let d = dual(&h).unwrap();
         assert_eq!(d.node_count(), 3); // x, y, z
         assert_eq!(d.edge_count(), 3); // a, b, c
-        // Dual edge "a" = edges containing a = {x, z} = dual nodes 0, 2.
+                                       // Dual edge "a" = edges containing a = {x, z} = dual nodes 0, 2.
         let ea = d.edge_by_label("a").unwrap();
         assert_eq!(d.edge(ea).to_vec(), vec![NodeId(0), NodeId(2)]);
         assert_eq!(d.node_label(NodeId(1)), "y");
@@ -188,17 +193,19 @@ mod tests {
         // Fig. 2 remark that duality fails for alpha.
         let h = hypergraph_from_lists(
             &["a", "b", "c"],
-            &[("x", &[0, 1]), ("y", &[1, 2]), ("z", &[0, 2]), ("w", &[0, 1, 2])],
+            &[
+                ("x", &[0, 1]),
+                ("y", &[1, 2]),
+                ("z", &[0, 2]),
+                ("w", &[0, 1, 2]),
+            ],
         );
         assert!(dual_node_ordering(&h).unwrap().is_none());
     }
 
     #[test]
     fn dual_node_ordering_checker_rejects_bogus() {
-        let h = hypergraph_from_lists(
-            &["a", "b", "c"],
-            &[("x", &[0, 1]), ("y", &[1, 2])],
-        );
+        let h = hypergraph_from_lists(&["a", "b", "c"], &[("x", &[0, 1]), ("y", &[1, 2])]);
         let (order, mut wit) = dual_node_ordering(&h).unwrap().expect("beta-acyclic");
         assert!(check_dual_node_ordering(&h, &order, &wit));
         // Break a witness.

@@ -28,7 +28,10 @@ impl fmt::Display for HypergraphError {
         match self {
             HypergraphError::EmptyEdge => write!(f, "hyperedges must be nonempty"),
             HypergraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range (universe has {node_count} nodes)")
+                write!(
+                    f,
+                    "node {node} out of range (universe has {node_count} nodes)"
+                )
             }
             HypergraphError::IsolatedNode(v) => {
                 write!(f, "dual undefined: node {v} belongs to no edge")
@@ -50,12 +53,17 @@ mod tests {
     #[test]
     fn messages() {
         assert!(HypergraphError::EmptyEdge.to_string().contains("nonempty"));
-        assert!(HypergraphError::IsolatedNode(NodeId(2)).to_string().contains("dual"));
+        assert!(HypergraphError::IsolatedNode(NodeId(2))
+            .to_string()
+            .contains("dual"));
         assert!(HypergraphError::IsolatedEdgeSideNode(NodeId(2))
             .to_string()
             .contains("no neighbors"));
-        assert!(HypergraphError::NodeOutOfRange { node: NodeId(9), node_count: 1 }
-            .to_string()
-            .contains("out of range"));
+        assert!(HypergraphError::NodeOutOfRange {
+            node: NodeId(9),
+            node_count: 1
+        }
+        .to_string()
+        .contains("out of range"));
     }
 }

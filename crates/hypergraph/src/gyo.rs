@@ -46,8 +46,7 @@ pub struct GyoOutcome {
 pub fn gyo_reduce(h: &Hypergraph) -> GyoOutcome {
     let n = h.node_count();
     // Working copies of edge contents; `None` = deleted edge.
-    let mut edges: Vec<Option<NodeSet>> =
-        h.edge_ids().map(|e| Some(h.edge(e).clone())).collect();
+    let mut edges: Vec<Option<NodeSet>> = h.edge_ids().map(|e| Some(h.edge(e).clone())).collect();
     // occurrences[v] = number of live edges containing v.
     let mut occurrences = vec![0usize; n];
     for e in edges.iter().flatten() {
@@ -61,15 +60,15 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoOutcome {
         changed = false;
         // Rule 1: ear nodes. Removing a node never makes containment
         // *harder*, so sweeping nodes first is safe.
-        for vi in 0..n {
-            if occurrences[vi] == 1 {
+        for (vi, occ) in occurrences.iter_mut().enumerate() {
+            if *occ == 1 {
                 let v = NodeId::from_index(vi);
                 for e in edges.iter_mut().flatten() {
                     if e.remove(v) {
                         break;
                     }
                 }
-                occurrences[vi] = 0;
+                *occ = 0;
                 trace.push(GyoStep::RemoveEarNode(v));
                 changed = true;
             }
@@ -78,9 +77,9 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoOutcome {
         // other edge; if they are the only edges left the hypergraph is
         // fully reduced. We record them as contained-edge removals against
         // themselves-free bookkeeping: an empty edge is simply erased.
-        for ei in 0..edges.len() {
-            if matches!(&edges[ei], Some(e) if e.is_empty()) {
-                edges[ei] = None;
+        for slot in edges.iter_mut() {
+            if matches!(slot, Some(e) if e.is_empty()) {
+                *slot = None;
                 changed = true;
             }
         }
@@ -114,7 +113,11 @@ pub fn gyo_reduce(h: &Hypergraph) -> GyoOutcome {
         .enumerate()
         .filter_map(|(i, e)| e.as_ref().map(|_| EdgeId::from_index(i)))
         .collect();
-    GyoOutcome { acyclic: residual_edges.is_empty(), trace, residual_edges }
+    GyoOutcome {
+        acyclic: residual_edges.is_empty(),
+        trace,
+        residual_edges,
+    }
 }
 
 #[cfg(test)]
@@ -157,7 +160,12 @@ mod tests {
         // Adding {a,b,c} over the triangle restores α-acyclicity.
         let h = hypergraph_from_lists(
             &["a", "b", "c"],
-            &[("x", &[0, 1]), ("y", &[1, 2]), ("z", &[0, 2]), ("w", &[0, 1, 2])],
+            &[
+                ("x", &[0, 1]),
+                ("y", &[1, 2]),
+                ("z", &[0, 2]),
+                ("w", &[0, 1, 2]),
+            ],
         );
         assert!(gyo_reduce(&h).acyclic);
     }

@@ -70,7 +70,12 @@ impl Hypergraph {
                 incidence[v.index()].push(EdgeId::from_index(ei));
             }
         }
-        Hypergraph { node_labels, edge_labels, edges, incidence }
+        Hypergraph {
+            node_labels,
+            edge_labels,
+            edges,
+            incidence,
+        }
     }
 
     /// Starts building a hypergraph.
@@ -126,12 +131,18 @@ impl Hypergraph {
 
     /// Looks up a node by label (first match).
     pub fn node_by_label(&self, label: &str) -> Option<NodeId> {
-        self.node_labels.iter().position(|l| l == label).map(NodeId::from_index)
+        self.node_labels
+            .iter()
+            .position(|l| l == label)
+            .map(NodeId::from_index)
     }
 
     /// Looks up an edge by label (first match).
     pub fn edge_by_label(&self, label: &str) -> Option<EdgeId> {
-        self.edge_labels.iter().position(|l| l == label).map(EdgeId::from_index)
+        self.edge_labels
+            .iter()
+            .position(|l| l == label)
+            .map(EdgeId::from_index)
     }
 
     /// The edges containing node `v`, in increasing id order.
@@ -156,8 +167,14 @@ impl Hypergraph {
     /// the notion under which β-acyclicity is hereditary ("every partial
     /// hypergraph is α-acyclic").
     pub fn partial(&self, keep: &[EdgeId]) -> Hypergraph {
-        let edges: Vec<NodeSet> = keep.iter().map(|&e| self.edges[e.index()].clone()).collect();
-        let edge_labels = keep.iter().map(|&e| self.edge_labels[e.index()].clone()).collect();
+        let edges: Vec<NodeSet> = keep
+            .iter()
+            .map(|&e| self.edges[e.index()].clone())
+            .collect();
+        let edge_labels = keep
+            .iter()
+            .map(|&e| self.edge_labels[e.index()].clone())
+            .collect();
         Hypergraph::from_parts(self.node_labels.clone(), edge_labels, edges)
     }
 
@@ -190,11 +207,21 @@ impl Hypergraph {
 
 impl fmt::Debug for Hypergraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Hypergraph(|N|={}, |E|={})", self.node_count(), self.edge_count())?;
+        writeln!(
+            f,
+            "Hypergraph(|N|={}, |E|={})",
+            self.node_count(),
+            self.edge_count()
+        )?;
         for e in self.edge_ids() {
-            let members: Vec<&str> =
-                self.edge(e).iter().map(|v| self.node_label(v)).collect();
-            writeln!(f, "  {:?} [{}] = {{{}}}", e, self.edge_label(e), members.join(", "))?;
+            let members: Vec<&str> = self.edge(e).iter().map(|v| self.node_label(v)).collect();
+            writeln!(
+                f,
+                "  {:?} [{}] = {{{}}}",
+                e,
+                self.edge_label(e),
+                members.join(", ")
+            )?;
         }
         Ok(())
     }

@@ -90,7 +90,10 @@ pub fn edge_in_graph_ids(
     e: EdgeId,
     graph_node_count: usize,
 ) -> NodeSet {
-    NodeSet::from_nodes(graph_node_count, h.edge(e).iter().map(|v| node_map[v.index()]))
+    NodeSet::from_nodes(
+        graph_node_count,
+        h.edge(e).iter().map(|v| node_map[v.index()]),
+    )
 }
 
 #[cfg(test)]

@@ -45,8 +45,13 @@ impl JoinTree {
         if self.order.len() != h.edge_count() || self.parent.len() != self.order.len() {
             return false;
         }
-        let pos: std::collections::HashMap<EdgeId, usize> =
-            self.order.iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
+        let pos: std::collections::HashMap<EdgeId, usize> = self
+            .order
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, e)| (e, i))
+            .collect();
         if pos.len() != self.order.len() {
             return false; // duplicates in order
         }
@@ -88,11 +93,14 @@ pub fn mcs_edge_ordering(h: &Hypergraph) -> Vec<EdgeId> {
     let mut order = Vec::with_capacity(m);
     for _ in 0..m {
         let mut best: Option<(usize, usize)> = None; // (weight, index)
-        for i in 0..m {
-            if used[i] {
+        for (i, &done) in used.iter().enumerate() {
+            if done {
                 continue;
             }
-            let w = h.edge(EdgeId::from_index(i)).intersection(&selected_nodes).len();
+            let w = h
+                .edge(EdgeId::from_index(i))
+                .intersection(&selected_nodes)
+                .len();
             if best.map_or(true, |(bw, _)| w > bw) {
                 best = Some((w, i));
             }
@@ -152,8 +160,8 @@ pub fn ear_ordering(h: &Hypergraph) -> Option<JoinTree> {
             let e = EdgeId::from_index(i);
             // Union of the other alive edges restricted to e.
             let mut inter = NodeSet::new(h.node_count());
-            for j in 0..m {
-                if j != i && alive[j] {
+            for (j, &live) in alive.iter().enumerate() {
+                if j != i && live {
                     inter.union_with(&h.edge(EdgeId::from_index(j)).intersection(h.edge(e)));
                 }
             }
@@ -182,7 +190,10 @@ pub fn ear_ordering(h: &Hypergraph) -> Option<JoinTree> {
     }
     rev_order.reverse();
     rev_parent.reverse();
-    Some(JoinTree { order: rev_order, parent: rev_parent })
+    Some(JoinTree {
+        order: rev_order,
+        parent: rev_parent,
+    })
 }
 
 /// Computes an RIP edge ordering (with witnesses) or determines that none
@@ -262,10 +273,7 @@ mod tests {
 
     #[test]
     fn disconnected_acyclic_hypergraph_ok() {
-        let h = hypergraph_from_lists(
-            &["a", "b", "c", "d"],
-            &[("x", &[0, 1]), ("y", &[2, 3])],
-        );
+        let h = hypergraph_from_lists(&["a", "b", "c", "d"], &[("x", &[0, 1]), ("y", &[2, 3])]);
         let jt = running_intersection_ordering(&h).expect("two components, both trivial");
         assert!(jt.is_valid(&h));
         // Both edges are roots (disjoint).

@@ -15,7 +15,8 @@ pub fn primal_graph(h: &Hypergraph) -> Graph {
         let members = h.edge(e).to_vec();
         for i in 0..members.len() {
             for j in (i + 1)..members.len() {
-                b.add_edge(members[i], members[j]).expect("members are valid nodes");
+                b.add_edge(members[i], members[j])
+                    .expect("members are valid nodes");
             }
         }
     }
@@ -38,7 +39,10 @@ mod tests {
 
     #[test]
     fn overlapping_edges_merge_arcs() {
-        let h = hypergraph_from_lists(&["a", "b", "c"], &[("x", &[0, 1]), ("y", &[0, 1]), ("z", &[1, 2])]);
+        let h = hypergraph_from_lists(
+            &["a", "b", "c"],
+            &[("x", &[0, 1]), ("y", &[0, 1]), ("z", &[1, 2])],
+        );
         let g = primal_graph(&h);
         assert_eq!(g.edge_count(), 2);
         assert!(g.has_edge(NodeId(0), NodeId(1)));

@@ -44,8 +44,11 @@ pub fn suggest_alpha_repair(h: &Hypergraph) -> AlphaRepair {
     }
     // Group the residual edges into connected components (edges sharing
     // nodes), and cover each component by the union of its edges.
-    let residual: Vec<NodeSet> =
-        outcome.residual_edges.iter().map(|&e| h.edge(e).clone()).collect();
+    let residual: Vec<NodeSet> = outcome
+        .residual_edges
+        .iter()
+        .map(|&e| h.edge(e).clone())
+        .collect();
     let mut used = vec![false; residual.len()];
     let mut new_edges = Vec::new();
     for i in 0..residual.len() {
@@ -78,10 +81,12 @@ pub fn apply_repair(h: &Hypergraph, repair: &AlphaRepair) -> Hypergraph {
         b.add_node(h.node_label(v));
     }
     for e in h.edge_ids() {
-        b.add_edge(h.edge_label(e), h.edge(e).iter()).expect("existing edges valid");
+        b.add_edge(h.edge_label(e), h.edge(e).iter())
+            .expect("existing edges valid");
     }
     for (i, e) in repair.new_edges.iter().enumerate() {
-        b.add_edge(format!("fix{}", i + 1), e.iter()).expect("repair edges nonempty");
+        b.add_edge(format!("fix{}", i + 1), e.iter())
+            .expect("repair edges nonempty");
     }
     b.build()
 }
@@ -91,7 +96,10 @@ pub fn apply_repair(h: &Hypergraph, repair: &AlphaRepair) -> Hypergraph {
 pub fn repair_to_alpha(h: &Hypergraph) -> (Hypergraph, AlphaRepair) {
     let repair = suggest_alpha_repair(h);
     let fixed = apply_repair(h, &repair);
-    debug_assert!(is_alpha_acyclic(&fixed), "repair must produce an alpha-acyclic hypergraph");
+    debug_assert!(
+        is_alpha_acyclic(&fixed),
+        "repair must produce an alpha-acyclic hypergraph"
+    );
     (fixed, repair)
 }
 
@@ -102,10 +110,7 @@ mod tests {
 
     #[test]
     fn acyclic_needs_no_repair() {
-        let h = hypergraph_from_lists(
-            &["a", "b", "c"],
-            &[("x", &[0, 1]), ("y", &[1, 2])],
-        );
+        let h = hypergraph_from_lists(&["a", "b", "c"], &[("x", &[0, 1]), ("y", &[1, 2])]);
         let r = suggest_alpha_repair(&h);
         assert!(r.is_empty());
         let (fixed, _) = repair_to_alpha(&h);
@@ -132,8 +137,12 @@ mod tests {
         let h = hypergraph_from_lists(
             &["a", "b", "c", "d", "e", "f"],
             &[
-                ("x1", &[0, 1]), ("y1", &[1, 2]), ("z1", &[0, 2]),
-                ("x2", &[3, 4]), ("y2", &[4, 5]), ("z2", &[3, 5]),
+                ("x1", &[0, 1]),
+                ("y1", &[1, 2]),
+                ("z1", &[0, 2]),
+                ("x2", &[3, 4]),
+                ("y2", &[4, 5]),
+                ("z2", &[3, 5]),
             ],
         );
         let (fixed, r) = repair_to_alpha(&h);
@@ -148,8 +157,11 @@ mod tests {
         let h = hypergraph_from_lists(
             &["a", "b", "c", "d", "e"],
             &[
-                ("x", &[0, 1]), ("y", &[1, 2]), ("z", &[0, 2]),
-                ("tail1", &[2, 3]), ("tail2", &[3, 4]),
+                ("x", &[0, 1]),
+                ("y", &[1, 2]),
+                ("z", &[0, 2]),
+                ("tail1", &[2, 3]),
+                ("tail2", &[3, 4]),
             ],
         );
         let (fixed, r) = repair_to_alpha(&h);

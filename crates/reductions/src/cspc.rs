@@ -55,7 +55,12 @@ impl CspcGadget {
             .map(|i| if i < n { Side::V1 } else { Side::V2 })
             .collect();
         let graph = BipartiteGraph::new(g, side).expect("incidence graphs are bipartite");
-        CspcGadget { source: source.clone(), graph, arcs, arc_nodes }
+        CspcGadget {
+            source: source.clone(),
+            graph,
+            arcs,
+            arc_nodes,
+        }
     }
 
     /// Lifts source terminals into gadget terminals (same ids on `V1`).
@@ -138,15 +143,16 @@ mod tests {
         let g = CspcGadget::build(&src);
         let n = src.node_count();
         let gn = g.graph.graph().node_count();
-        let weights: Vec<u64> =
-            (0..gn).map(|i| u64::from(i >= n)).collect(); // V2 indicator
+        let weights: Vec<u64> = (0..gn).map(|i| u64::from(i >= n)).collect(); // V2 indicator
         for mask in 1u32..(1 << n) {
             if mask.count_ones() < 2 {
                 continue;
             }
             let src_terms = NodeSet::from_nodes(
                 n,
-                (0..n).filter(|i| mask & (1 << i) != 0).map(NodeId::from_index),
+                (0..n)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(NodeId::from_index),
             );
             let lifted = g.lift_terminals(&src_terms);
             let exact =

@@ -24,7 +24,10 @@ impl X3cInstance {
             .into_iter()
             .map(|mut t| {
                 t.sort_unstable();
-                assert!(t[0] < t[1] && t[1] < t[2], "triples must have 3 distinct elements");
+                assert!(
+                    t[0] < t[1] && t[1] < t[2],
+                    "triples must have 3 distinct elements"
+                );
                 assert!(t[2] < 3 * q, "element out of universe");
                 t
             })
@@ -44,7 +47,9 @@ impl X3cInstance {
         }
         let mut seen = vec![false; self.universe()];
         for &i in selection {
-            let Some(t) = self.triples.get(i) else { return false };
+            let Some(t) = self.triples.get(i) else {
+                return false;
+            };
             for &x in t {
                 if seen[x] {
                     return false;

@@ -55,7 +55,13 @@ impl Theorem2Gadget {
         let element_nodes = (0..instance.universe())
             .map(|j| NodeId::from_index(k + 1 + j))
             .collect();
-        Theorem2Gadget { instance, graph, triple_nodes, hub, element_nodes }
+        Theorem2Gadget {
+            instance,
+            graph,
+            triple_nodes,
+            hub,
+            element_nodes,
+        }
     }
 
     /// The terminal set `P̄ = V2` of the reduction.
@@ -86,7 +92,9 @@ impl Theorem2Gadget {
             .filter(|(_, &v)| tree.nodes.contains(v))
             .map(|(i, _)| i)
             .collect();
-        self.instance.is_exact_cover(&selection).then_some(selection)
+        self.instance
+            .is_exact_cover(&selection)
+            .then_some(selection)
     }
 
     /// Builds a Steiner tree realizing the threshold from an exact cover
@@ -123,8 +131,14 @@ mod tests {
         // hub arcs (3) + membership arcs (9).
         assert_eq!(g.graph.graph().edge_count(), 12);
         assert_eq!(g.graph.graph().label(g.hub), "u'");
-        assert!(g.graph.graph().has_edge(g.triple_nodes[0], g.element_nodes[0]));
-        assert!(!g.graph.graph().has_edge(g.triple_nodes[0], g.element_nodes[5]));
+        assert!(g
+            .graph
+            .graph()
+            .has_edge(g.triple_nodes[0], g.element_nodes[0]));
+        assert!(!g
+            .graph
+            .graph()
+            .has_edge(g.triple_nodes[0], g.element_nodes[5]));
     }
 
     #[test]
@@ -141,10 +155,7 @@ mod tests {
         // intersecting triples the gadget has a chordless 6-cycle (the
         // hub chords only cycles through itself), yet stays V₂-chordal ∧
         // V₂-conformal thanks to the hub edge.
-        let ring = Theorem2Gadget::build(X3cInstance::new(
-            2,
-            [[0, 1, 2], [2, 3, 4], [4, 5, 0]],
-        ));
+        let ring = Theorem2Gadget::build(X3cInstance::new(2, [[0, 1, 2], [2, 3, 4], [4, 5, 0]]));
         let rc = classify_bipartite(&ring.graph);
         assert!(rc.h1_alpha_acyclic());
         assert!(!rc.six_one);
@@ -156,7 +167,9 @@ mod tests {
         let inst = SteinerInstance::new(g.graph.graph().clone(), g.terminals());
         let sol = steiner_exact(&inst).expect("terminals connected via hub");
         assert_eq!(sol.cost as usize, g.threshold());
-        let cover = g.extract_cover(&sol.tree).expect("optimal tree encodes a cover");
+        let cover = g
+            .extract_cover(&sol.tree)
+            .expect("optimal tree encodes a cover");
         assert!(g.instance.is_exact_cover(&cover));
     }
 
@@ -164,8 +177,7 @@ mod tests {
     fn unsolvable_instance_exceeds_threshold() {
         let gadget = Theorem2Gadget::build(X3cInstance::new(2, [[0, 1, 2], [2, 3, 4], [1, 3, 5]]));
         assert!(gadget.instance.solve_bruteforce().is_none());
-        let inst =
-            SteinerInstance::new(gadget.graph.graph().clone(), gadget.terminals());
+        let inst = SteinerInstance::new(gadget.graph.graph().clone(), gadget.terminals());
         let sol = steiner_exact(&inst).expect("hub connects everything");
         assert!(sol.cost as usize > gadget.threshold());
     }
@@ -173,7 +185,9 @@ mod tests {
     #[test]
     fn forward_mapping_builds_threshold_tree() {
         let g = fig6();
-        let tree = g.tree_from_cover(&[0, 2]).expect("c1, c3 is an exact cover");
+        let tree = g
+            .tree_from_cover(&[0, 2])
+            .expect("c1, c3 is an exact cover");
         assert_eq!(tree.node_cost(), g.threshold());
         assert!(tree.is_valid_tree(g.graph.graph()));
         assert!(g.tree_from_cover(&[0, 1]).is_none());

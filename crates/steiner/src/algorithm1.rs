@@ -18,9 +18,11 @@
 //! cardinality search on the edges of `H¹_G` (each edge is a `V₂` node)
 //! and reverse the resulting running-intersection ordering.
 
-use crate::{SteinerTree};
+use crate::SteinerTree;
 use mcc_chordality::chordal_bipartite::drop_isolated_v2;
-use mcc_graph::{terminals_connected, BipartiteGraph, NodeId, NodeSet, Side};
+use mcc_graph::{
+    component_of_in, terminals_connected_in, BipartiteGraph, NodeId, NodeSet, Side, Workspace,
+};
 use mcc_hypergraph::{h1_of_bipartite, running_intersection_ordering};
 use std::fmt;
 
@@ -68,7 +70,23 @@ pub struct Algorithm1Output {
 /// Requirements (checked): terminals in one component; `H¹_G` α-acyclic.
 /// The Theorem 3 guarantee is that the returned tree is `V₂`-minimum
 /// among all trees over the terminals.
+///
+/// Thin wrapper over [`algorithm1_in`] with a transient workspace.
 pub fn algorithm1(
+    bg: &BipartiteGraph,
+    terminals: &NodeSet,
+) -> Result<Algorithm1Output, Algorithm1Error> {
+    algorithm1_in(&mut Workspace::new(), bg, terminals)
+}
+
+/// [`algorithm1`] through a workspace. Step 2's elimination loop mutates a
+/// single alive mask in place — remove the candidate `V₂` node and its
+/// private neighbors, test terminal connectivity through the workspace,
+/// re-insert on failure — so its steady state allocates nothing. The
+/// Lemma 1 ordering construction (Step 1) still builds `H¹` and its join
+/// tree, which are returned certificates rather than scratch.
+pub fn algorithm1_in(
+    ws: &mut Workspace,
     bg: &BipartiteGraph,
     terminals: &NodeSet,
 ) -> Result<Algorithm1Output, Algorithm1Error> {
@@ -78,7 +96,10 @@ pub fn algorithm1(
 
     if terminals.is_empty() {
         return Ok(Algorithm1Output {
-            tree: SteinerTree { nodes: NodeSet::new(n), edges: vec![] },
+            tree: SteinerTree {
+                nodes: NodeSet::new(n),
+                edges: vec![],
+            },
             v2_cost: 0,
             ordering: vec![],
         });
@@ -91,20 +112,26 @@ pub fn algorithm1(
         let t = terminals.first().expect("nonempty");
         let v2_cost = usize::from(bg.side(t) == Side::V2);
         return Ok(Algorithm1Output {
-            tree: SteinerTree { nodes: terminals.clone(), edges: vec![] },
+            tree: SteinerTree {
+                nodes: terminals.clone(),
+                edges: vec![],
+            },
             v2_cost,
             ordering: vec![],
         });
     }
 
     // Restrict to the component containing the terminals.
-    let full = NodeSet::full(n);
-    let comp = mcc_graph::connectivity::component_of(
-        g,
-        &full,
-        terminals.first().expect("nonempty"),
-    );
-    if !terminals.is_subset_of(&comp) {
+    let t0 = terminals.first().expect("nonempty");
+    let mut full = ws.take_set_buf(n);
+    for v in g.nodes() {
+        full.insert(v);
+    }
+    let mut alive = ws.take_set_buf(n);
+    component_of_in(ws, g, &full, t0, &mut alive);
+    ws.return_set_buf(full);
+    if !terminals.is_subset_of(&alive) {
+        ws.return_set_buf(alive);
         return Err(Algorithm1Error::Infeasible);
     }
 
@@ -112,8 +139,7 @@ pub fn algorithm1(
     // are never on connections, drop them), get a running-intersection
     // ordering of its edges, reverse it, and map back to V₂ node ids.
     let cleaned = drop_isolated_v2(bg);
-    let (h1, _node_map, edge_map) =
-        h1_of_bipartite(&cleaned).expect("isolated V2 nodes dropped");
+    let (h1, _node_map, edge_map) = h1_of_bipartite(&cleaned).expect("isolated V2 nodes dropped");
     let Some(jt) = running_intersection_ordering(&h1) else {
         return Err(Algorithm1Error::NotAlphaAcyclic);
     };
@@ -128,36 +154,45 @@ pub fn algorithm1(
         .collect();
     ordering.reverse();
 
-    // Step 2: elimination within the component.
-    let mut alive = comp.clone();
+    // Step 2: elimination within the component, on one alive mask.
+    let mut private = ws.take_node_buf();
     for &v2 in &ordering {
         if !alive.contains(v2) {
             continue; // outside the component (or already private-removed)
         }
-        let mut candidate = alive.clone();
-        candidate.remove(v2);
-        let private = g.private_neighbors(v2, &alive);
-        candidate.difference_with(&private);
+        ws.stats.elimination_steps += 1;
+        g.private_neighbors_into(v2, &alive, &mut private);
+        alive.remove(v2);
+        for &u in &private {
+            alive.remove(u);
+        }
         // Elimination test: the terminals must stay mutually connected
         // (see the interpretation note in `algorithm2`'s module docs —
-        // the same relaxation applies here).
-        if terminals_connected(g, &candidate, terminals) {
-            alive = candidate;
+        // the same relaxation applies here). On failure, undo the removal.
+        if !terminals_connected_in(ws, g, &alive, terminals) {
+            alive.insert(v2);
+            for &u in &private {
+                alive.insert(u);
+            }
         }
     }
+    ws.return_node_buf(private);
     // Defensive trim: drop anything not in the terminals' component
     // (cannot occur when every V2 node is processed, but cheap to
     // guarantee).
-    let alive = mcc_graph::connectivity::component_of(
-        g,
-        &alive,
-        terminals.first().expect("nonempty"),
-    );
+    let mut trimmed = ws.take_set_buf(n);
+    component_of_in(ws, g, &alive, t0, &mut trimmed);
+    ws.return_set_buf(alive);
 
     // Step 3: spanning tree.
-    let tree = SteinerTree::from_cover(g, &alive).expect("elimination preserves coverage");
-    let v2_cost = alive.intersection(&bg.v2_set()).len();
-    Ok(Algorithm1Output { tree, v2_cost, ordering })
+    let tree = SteinerTree::from_cover(g, &trimmed).expect("elimination preserves coverage");
+    let v2_cost = trimmed.intersection(&bg.v2_set()).len();
+    ws.return_set_buf(trimmed);
+    Ok(Algorithm1Output {
+        tree,
+        v2_cost,
+        ordering,
+    })
 }
 
 /// Verifies the two Lemma 1 properties of a `V₂` ordering
@@ -200,17 +235,13 @@ pub fn verify_lemma1_ordering(bg: &BipartiteGraph, ordering: &[NodeId]) -> bool 
         // Property (2): Adj(v_i) ∩ Adj(suffix after i) ⊆ Adj(v_j), j > i.
         if i + 1 < q {
             let tail = NodeSet::from_nodes(n, ordering[i + 1..].iter().copied());
-            let shared = NodeSet::from_nodes(
-                n,
-                g.neighbors(ordering[i]).iter().copied(),
-            )
-            .intersection(&g.adjacent_to_set(&tail));
+            let shared = NodeSet::from_nodes(n, g.neighbors(ordering[i]).iter().copied())
+                .intersection(&g.adjacent_to_set(&tail));
             if shared.is_empty() {
                 continue;
             }
             let witnessed = ordering[i + 1..].iter().any(|&vj| {
-                let adj_j =
-                    NodeSet::from_nodes(n, g.neighbors(vj).iter().copied());
+                let adj_j = NodeSet::from_nodes(n, g.neighbors(vj).iter().copied());
                 shared.is_subset_of(&adj_j)
             });
             if !witnessed {
@@ -251,7 +282,9 @@ mod tests {
     fn ids(bg: &BipartiteGraph, labels: &[&str]) -> NodeSet {
         NodeSet::from_nodes(
             bg.graph().node_count(),
-            labels.iter().map(|l| bg.graph().node_by_label(l).expect("label exists")),
+            labels
+                .iter()
+                .map(|l| bg.graph().node_by_label(l).expect("label exists")),
         )
     }
 
@@ -315,14 +348,20 @@ mod tests {
             &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)],
         );
         let terminals = ids(&bg, &["x1", "x2"]);
-        assert_eq!(algorithm1(&bg, &terminals), Err(Algorithm1Error::NotAlphaAcyclic));
+        assert_eq!(
+            algorithm1(&bg, &terminals),
+            Err(Algorithm1Error::NotAlphaAcyclic)
+        );
     }
 
     #[test]
     fn rejects_disconnected_terminals() {
         let bg = bipartite_from_lists(&["a", "b"], &["r1", "r2"], &[(0, 0), (1, 1)]);
         let terminals = ids(&bg, &["a", "b"]);
-        assert_eq!(algorithm1(&bg, &terminals), Err(Algorithm1Error::Infeasible));
+        assert_eq!(
+            algorithm1(&bg, &terminals),
+            Err(Algorithm1Error::Infeasible)
+        );
     }
 
     #[test]
@@ -341,4 +380,3 @@ impl PartialEq for Algorithm1Output {
         self.tree == other.tree && self.v2_cost == other.v2_cost
     }
 }
-

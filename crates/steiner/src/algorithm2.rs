@@ -30,7 +30,7 @@
 //! against the exact solver.
 
 use crate::SteinerTree;
-use mcc_graph::{terminals_connected, Graph, NodeId, NodeSet};
+use mcc_graph::{component_of_in, terminals_connected_in, Graph, NodeId, NodeSet, Workspace};
 
 /// Runs Algorithm 2 with the default elimination order (increasing node
 /// id). Returns `None` when the terminals are not connected.
@@ -54,7 +54,25 @@ pub fn algorithm2(g: &Graph, terminals: &NodeSet) -> Option<SteinerTree> {
 /// Runs Algorithm 2 eliminating candidates in the given order (nodes
 /// missing from `order` are never eliminated). This is the entry point
 /// for the good-ordering experiments (Definition 11 / Theorem 6).
+///
+/// Thin wrapper over [`algorithm2_with_order_in`] with a transient
+/// workspace.
 pub fn algorithm2_with_order(
+    g: &Graph,
+    terminals: &NodeSet,
+    order: &[NodeId],
+) -> Option<SteinerTree> {
+    algorithm2_with_order_in(&mut Workspace::new(), g, terminals, order)
+}
+
+/// [`algorithm2_with_order`] through a workspace. The elimination loop
+/// mutates one alive mask in place (remove → connectivity test → re-insert
+/// on failure) and every connectivity test runs through the workspace, so
+/// after warm-up Step 1 performs **no heap allocation at all** — the
+/// `alloc_regression` integration test pins this down. Only the returned
+/// [`SteinerTree`] is allocated.
+pub fn algorithm2_with_order_in(
+    ws: &mut Workspace,
     g: &Graph,
     terminals: &NodeSet,
     order: &[NodeId],
@@ -62,38 +80,66 @@ pub fn algorithm2_with_order(
     let n = g.node_count();
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
     if terminals.is_empty() {
-        return Some(SteinerTree { nodes: NodeSet::new(n), edges: vec![] });
+        return Some(SteinerTree {
+            nodes: NodeSet::new(n),
+            edges: vec![],
+        });
     }
+    let t0 = terminals.first().expect("nonempty");
     // Start from the component containing the terminals (the rest of the
     // graph is certainly removable; skipping it keeps Step 1 at |C| tests).
-    let comp = mcc_graph::connectivity::component_of(
-        g,
-        &NodeSet::full(n),
-        terminals.first().expect("nonempty"),
-    );
-    if !terminals.is_subset_of(&comp) {
+    let full = ws.take_set_buf(n);
+    let mut full = full;
+    for v in g.nodes() {
+        full.insert(v);
+    }
+    let mut alive = ws.take_set_buf(n);
+    component_of_in(ws, g, &full, t0, &mut alive);
+    ws.return_set_buf(full);
+    if !terminals.is_subset_of(&alive) {
+        ws.return_set_buf(alive);
         return None;
     }
-    let mut alive = comp;
-    for &v in order {
-        if terminals.contains(v) || !alive.contains(v) {
-            continue;
-        }
-        alive.remove(v);
-        if !terminals_connected(g, &alive, terminals) {
-            alive.insert(v);
-        }
-    }
+    eliminate_nonredundant_in(ws, g, terminals, order, &mut alive);
     // When `order` covers every candidate the surviving set is already
     // connected (every kept node separates terminals, hence lies on a
     // terminal path); with a partial order, stranded never-eliminated
     // nodes may remain — trim to the terminals' component.
-    let alive = mcc_graph::connectivity::component_of(
-        g,
-        &alive,
-        terminals.first().expect("nonempty"),
-    );
-    SteinerTree::from_cover(g, &alive)
+    let mut trimmed = ws.take_set_buf(n);
+    component_of_in(ws, g, &alive, t0, &mut trimmed);
+    ws.return_set_buf(alive);
+    let tree = SteinerTree::from_cover(g, &trimmed);
+    ws.return_set_buf(trimmed);
+    tree
+}
+
+/// Algorithm 2's **Step 1** in isolation: shrink `alive` to a
+/// nonredundant cover of `terminals` by attempting, in `order`, to delete
+/// each non-terminal node (remove → terminal-connectivity test →
+/// re-insert on failure).
+///
+/// Every test runs through the workspace's epoch-stamped visited array
+/// and reusable queue, and the alive mask is the caller's — so once the
+/// workspace has warmed up to this graph size, the loop performs **zero
+/// heap allocations**, which `tests/alloc_regression.rs` asserts with a
+/// counting global allocator.
+pub fn eliminate_nonredundant_in(
+    ws: &mut Workspace,
+    g: &Graph,
+    terminals: &NodeSet,
+    order: &[NodeId],
+    alive: &mut NodeSet,
+) {
+    for &v in order {
+        if terminals.contains(v) || !alive.contains(v) {
+            continue;
+        }
+        ws.stats.elimination_steps += 1;
+        alive.remove(v);
+        if !terminals_connected_in(ws, g, alive, terminals) {
+            alive.insert(v);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -12,10 +12,7 @@ pub fn is_steiner_tree_for(g: &Graph, tree: &SteinerTree, terminals: &NodeSet) -
 /// Number of nodes of `tree` lying on `side` of `bg` — the cost the
 /// pseudo-Steiner problem w.r.t. that side minimizes.
 pub fn tree_side_cost(bg: &BipartiteGraph, tree: &SteinerTree, side: Side) -> usize {
-    tree.nodes
-        .iter()
-        .filter(|&v| bg.side(v) == side)
-        .count()
+    tree.nodes.iter().filter(|&v| bg.side(v) == side).count()
 }
 
 #[cfg(test)]
@@ -33,7 +30,10 @@ mod tests {
         assert!(is_steiner_tree_for(&g, &t, &p));
         let p_missing = NodeSet::from_nodes(3, [NodeId(0)]);
         assert!(is_steiner_tree_for(&g, &t, &p_missing)); // superset is fine
-        let bad = SteinerTree { nodes: NodeSet::from_nodes(3, [NodeId(0), NodeId(2)]), edges: vec![] };
+        let bad = SteinerTree {
+            nodes: NodeSet::from_nodes(3, [NodeId(0), NodeId(2)]),
+            edges: vec![],
+        };
         assert!(!is_steiner_tree_for(&g, &bad, &p));
     }
 

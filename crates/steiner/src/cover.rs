@@ -79,7 +79,10 @@ fn minimize_by(
     cost: impl Fn(&NodeSet) -> usize,
 ) -> Option<NodeSet> {
     let n = g.node_count();
-    assert!(n <= 24, "brute-force cover search is for tiny instances (n ≤ 24)");
+    assert!(
+        n <= 24,
+        "brute-force cover search is for tiny instances (n ≤ 24)"
+    );
     let free: Vec<NodeId> = g.nodes().filter(|v| !terminals.contains(*v)).collect();
     let k = free.len();
     let mut best: Option<(usize, NodeSet)> = None;

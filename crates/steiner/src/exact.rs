@@ -62,18 +62,27 @@ pub fn steiner_exact_node_weighted(
     assert_eq!(weights.len(), n, "one weight per node");
     let ts: Vec<NodeId> = terminals.to_vec();
     let k = ts.len();
-    assert!(k <= 24, "Dreyfus–Wagner is exponential in |terminals|; got {k}");
+    assert!(
+        k <= 24,
+        "Dreyfus–Wagner is exponential in |terminals|; got {k}"
+    );
 
     if k == 0 {
         return Some(ExactSolution {
-            tree: SteinerTree { nodes: NodeSet::new(n), edges: vec![] },
+            tree: SteinerTree {
+                nodes: NodeSet::new(n),
+                edges: vec![],
+            },
             cost: 0,
         });
     }
     if k == 1 {
         let t = ts[0];
         return Some(ExactSolution {
-            tree: SteinerTree { nodes: NodeSet::from_nodes(n, [t]), edges: vec![] },
+            tree: SteinerTree {
+                nodes: NodeSet::from_nodes(n, [t]),
+                edges: vec![],
+            },
             cost: weights[t.index()],
         });
     }
@@ -82,8 +91,9 @@ pub fn steiner_exact_node_weighted(
     // Σ w(x) over path nodes except u; parent pointers for extraction.
     let mut dist = vec![vec![INF; n]; n];
     let mut parent = vec![vec![usize::MAX; n]; n];
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
     for u in 0..n {
-        dijkstra_from(g, weights, u, &mut dist[u], &mut parent[u]);
+        dijkstra_from(g, weights, u, &mut dist[u], &mut parent[u], &mut heap);
     }
 
     // dp[mask][v] = min weight of a tree containing {t_i : i ∈ mask} ∪ {v}.
@@ -98,13 +108,16 @@ pub fn steiner_exact_node_weighted(
             }
         }
     }
+    // One merge buffer reused across all 2^k masks (refilled, not
+    // re-allocated, per iteration).
+    let mut tmp = vec![INF; n];
     for mask in 1..=full {
         if mask.count_ones() < 2 {
             continue;
         }
         // Merge step at every node, then one relaxation through the
         // distance matrix.
-        let mut tmp = vec![INF; n];
+        tmp.fill(INF);
         let mut sub = (mask - 1) & mask;
         while sub > 0 {
             let rest = mask ^ sub;
@@ -146,7 +159,15 @@ pub fn steiner_exact_node_weighted(
     let mut nodes = NodeSet::new(n);
     nodes.insert(t0);
     reconstruct(
-        g, weights, &ts, &dist, &parent, &dp, rest_mask, t0.index(), &mut nodes,
+        g,
+        weights,
+        &ts,
+        &dist,
+        &parent,
+        &dp,
+        rest_mask,
+        t0.index(),
+        &mut nodes,
     );
     let tree = SteinerTree::from_cover(g, &nodes).expect("reconstructed cover is connected");
     debug_assert_eq!(
@@ -157,9 +178,16 @@ pub fn steiner_exact_node_weighted(
     Some(ExactSolution { tree, cost })
 }
 
-fn dijkstra_from(g: &Graph, w: &[u64], src: usize, dist: &mut [u64], parent: &mut [usize]) {
+fn dijkstra_from(
+    g: &Graph,
+    w: &[u64],
+    src: usize,
+    dist: &mut [u64],
+    parent: &mut [usize],
+    heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
+) {
     dist[src] = 0;
-    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+    heap.clear();
     heap.push(Reverse((0, src)));
     while let Some(Reverse((d, v))) = heap.pop() {
         if d > dist[v] {
@@ -290,8 +318,18 @@ mod tests {
         let g = graph_from_edges(
             9,
             &[
-                (0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8),
-                (0, 3), (3, 6), (1, 4), (4, 7), (2, 5), (5, 8),
+                (0, 1),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (0, 3),
+                (3, 6),
+                (1, 4),
+                (4, 7),
+                (2, 5),
+                (5, 8),
             ],
         );
         let terminals = NodeSet::from_nodes(9, [NodeId(0), NodeId(2), NodeId(6)]);

@@ -28,7 +28,10 @@ pub fn steiner_exact_ids(g: &Graph, terminals: &NodeSet) -> Option<ExactSolution
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
     if terminals.is_empty() {
         return Some(ExactSolution {
-            tree: SteinerTree { nodes: NodeSet::new(n), edges: vec![] },
+            tree: SteinerTree {
+                nodes: NodeSet::new(n),
+                edges: vec![],
+            },
             cost: 0,
         });
     }
@@ -65,7 +68,10 @@ pub fn steiner_exact_ids(g: &Graph, terminals: &NodeSet) -> Option<ExactSolution
         let mut forbidden = NodeSet::new(n);
         if let Some(nodes) = state.dfs(&mut forbidden) {
             let tree = SteinerTree::from_cover(g, &nodes).expect("grown set is connected");
-            return Some(ExactSolution { cost: tree.node_cost() as u64, tree });
+            return Some(ExactSolution {
+                cost: tree.node_cost() as u64,
+                tree,
+            });
         }
     }
     unreachable!("a spanning set of the component always succeeds by k = n")
@@ -131,8 +137,7 @@ impl SearchState<'_> {
         let mut candidates: Vec<NodeId> = Vec::new();
         for v in self.chosen.to_vec() {
             for &u in self.g.neighbors(v) {
-                if !self.chosen.contains(u) && !forbidden.contains(u) && !candidates.contains(&u)
-                {
+                if !self.chosen.contains(u) && !forbidden.contains(u) && !candidates.contains(&u) {
                     candidates.push(u);
                 }
             }
@@ -207,11 +212,26 @@ mod tests {
         let g = graph_from_edges(
             9,
             &[
-                (0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8),
-                (0, 3), (3, 6), (1, 4), (4, 7), (2, 5), (5, 8),
+                (0, 1),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (0, 3),
+                (3, 6),
+                (1, 4),
+                (4, 7),
+                (2, 5),
+                (5, 8),
             ],
         );
-        for ts in [vec![0u32, 8], vec![0, 2, 6], vec![0, 2, 6, 8], vec![1, 3, 5, 7]] {
+        for ts in [
+            vec![0u32, 8],
+            vec![0, 2, 6],
+            vec![0, 2, 6, 8],
+            vec![1, 3, 5, 7],
+        ] {
             let p = terminals(9, &ts);
             let ids = steiner_exact_ids(&g, &p).unwrap();
             let dw = steiner_exact(&SteinerInstance::new(g.clone(), p.clone())).unwrap();
@@ -226,7 +246,10 @@ mod tests {
         let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
         assert_eq!(steiner_exact_ids(&g, &terminals(3, &[])).unwrap().cost, 0);
         assert_eq!(steiner_exact_ids(&g, &terminals(3, &[2])).unwrap().cost, 1);
-        assert_eq!(steiner_exact_ids(&g, &terminals(3, &[0, 2])).unwrap().cost, 3);
+        assert_eq!(
+            steiner_exact_ids(&g, &terminals(3, &[0, 2])).unwrap().cost,
+            3
+        );
     }
 
     #[test]
@@ -238,15 +261,28 @@ mod tests {
     #[test]
     fn star_and_cycle() {
         let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
-        assert_eq!(steiner_exact_ids(&g, &terminals(5, &[1, 2, 3, 4])).unwrap().cost, 5);
+        assert_eq!(
+            steiner_exact_ids(&g, &terminals(5, &[1, 2, 3, 4]))
+                .unwrap()
+                .cost,
+            5
+        );
         let g = graph_from_edges(8, &(0..8).map(|i| (i, (i + 1) % 8)).collect::<Vec<_>>());
-        assert_eq!(steiner_exact_ids(&g, &terminals(8, &[0, 2, 4, 6])).unwrap().cost, 7);
+        assert_eq!(
+            steiner_exact_ids(&g, &terminals(8, &[0, 2, 4, 6]))
+                .unwrap()
+                .cost,
+            7
+        );
     }
 
     #[test]
     fn terminal_root_may_be_isolated_in_terms_of_spare_nodes() {
         // Terminals adjacent to each other: no extra nodes.
         let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
-        assert_eq!(steiner_exact_ids(&g, &terminals(4, &[1, 2])).unwrap().cost, 2);
+        assert_eq!(
+            steiner_exact_ids(&g, &terminals(4, &[1, 2])).unwrap().cost,
+            2
+        );
     }
 }

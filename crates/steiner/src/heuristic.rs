@@ -18,7 +18,10 @@ pub fn steiner_kmb(g: &Graph, terminals: &NodeSet) -> Option<SteinerTree> {
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
     let ts: Vec<NodeId> = terminals.to_vec();
     if ts.is_empty() {
-        return Some(SteinerTree { nodes: NodeSet::new(n), edges: vec![] });
+        return Some(SteinerTree {
+            nodes: NodeSet::new(n),
+            edges: vec![],
+        });
     }
     let full = NodeSet::full(n);
     // Metric closure rows for terminals only.
@@ -64,7 +67,8 @@ pub fn steiner_kmb(g: &Graph, terminals: &NodeSet) -> Option<SteinerTree> {
         &sub.graph,
         &NodeSet::from_nodes(
             sub.graph.node_count(),
-            ts.iter().map(|&t| sub.from_parent[t.index()].expect("terminal in union")),
+            ts.iter()
+                .map(|&t| sub.from_parent[t.index()].expect("terminal in union")),
         ),
         &(0..order.len()).map(NodeId::from_index).collect::<Vec<_>>(),
     )?;
@@ -108,8 +112,18 @@ mod tests {
         let g = graph_from_edges(
             9,
             &[
-                (0, 1), (1, 2), (3, 4), (4, 5), (6, 7), (7, 8),
-                (0, 3), (3, 6), (1, 4), (4, 7), (2, 5), (5, 8),
+                (0, 1),
+                (1, 2),
+                (3, 4),
+                (4, 5),
+                (6, 7),
+                (7, 8),
+                (0, 3),
+                (3, 6),
+                (1, 4),
+                (4, 7),
+                (2, 5),
+                (5, 8),
             ],
         );
         for ts in [vec![0, 8], vec![0, 2, 6], vec![0, 2, 6, 8]] {

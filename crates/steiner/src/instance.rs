@@ -56,7 +56,10 @@ impl SteinerTree {
     /// `None` when the induced subgraph is disconnected.
     pub fn from_cover(g: &Graph, cover: &NodeSet) -> Option<SteinerTree> {
         let edges = mcc_graph::spanning_tree(g, cover)?;
-        Some(SteinerTree { nodes: cover.clone(), edges })
+        Some(SteinerTree {
+            nodes: cover.clone(),
+            edges,
+        })
     }
 
     /// Number of nodes — the cost the Steiner problem minimizes.
@@ -104,10 +107,7 @@ mod tests {
     #[test]
     fn feasibility() {
         let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
-        let inst = SteinerInstance::new(
-            g.clone(),
-            NodeSet::from_nodes(4, [NodeId(0), NodeId(1)]),
-        );
+        let inst = SteinerInstance::new(g.clone(), NodeSet::from_nodes(4, [NodeId(0), NodeId(1)]));
         assert!(inst.is_feasible());
         let inst = SteinerInstance::new(g, NodeSet::from_nodes(4, [NodeId(0), NodeId(3)]));
         assert!(!inst.is_feasible());
@@ -160,7 +160,10 @@ mod tests {
 
     #[test]
     fn empty_tree_is_valid() {
-        let t = SteinerTree { nodes: NodeSet::new(4), edges: vec![] };
+        let t = SteinerTree {
+            nodes: NodeSet::new(4),
+            edges: vec![],
+        };
         assert!(t.is_valid_tree(&p4()));
     }
 }

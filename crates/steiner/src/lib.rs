@@ -43,8 +43,10 @@ pub mod instance;
 pub mod ordering;
 pub mod pseudo;
 
-pub use algorithm1::{algorithm1, verify_lemma1_ordering, Algorithm1Error};
-pub use algorithm2::{algorithm2, algorithm2_with_order};
+pub use algorithm1::{algorithm1, algorithm1_in, verify_lemma1_ordering, Algorithm1Error};
+pub use algorithm2::{
+    algorithm2, algorithm2_with_order, algorithm2_with_order_in, eliminate_nonredundant_in,
+};
 pub use certify::{is_steiner_tree_for, tree_side_cost};
 pub use cover::{
     is_minimum_path, is_nonredundant_cover, is_nonredundant_path, minimum_cover_bruteforce,

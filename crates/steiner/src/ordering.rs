@@ -53,14 +53,16 @@ pub fn find_bad_terminal_set(g: &Graph, order: &[NodeId]) -> Option<NodeSet> {
     for mask in 1u32..(1 << n) {
         let terminals = NodeSet::from_nodes(
             n,
-            (0..n).filter(|i| mask & (1 << i) != 0).map(NodeId::from_index),
+            (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(NodeId::from_index),
         );
         // Only feasible sets constrain the ordering.
         let Some(got) = eliminate_with_ordering(g, order, &terminals) else {
             continue;
         };
-        let min = minimum_cover_bruteforce(g, &terminals)
-            .expect("feasible set has a minimum cover");
+        let min =
+            minimum_cover_bruteforce(g, &terminals).expect("feasible set has a minimum cover");
         if got.len() != min.len() {
             return Some(terminals);
         }
@@ -78,7 +80,10 @@ pub fn find_bad_terminal_set(g: &Graph, order: &[NodeId]) -> Option<NodeSet> {
 /// Fig. 11 analysis goes through the proof's case split instead).
 pub fn ordering_landscape(g: &Graph) -> (usize, usize) {
     let n = g.node_count();
-    assert!(n <= 7, "ordering landscape enumerates n! orderings; n ≤ 7 only");
+    assert!(
+        n <= 7,
+        "ordering landscape enumerates n! orderings; n ≤ 7 only"
+    );
     let mut good = 0;
     let mut bad = 0;
     let mut order: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();

@@ -49,14 +49,17 @@ pub fn pseudo_steiner(
         PseudoSide::V2 => algorithm1(bg, terminals)?,
         PseudoSide::V1 => algorithm1(&bg.swap_sides(), terminals)?,
     };
-    Ok(PseudoSolution { tree: out.tree, side_cost: out.v2_cost })
+    Ok(PseudoSolution {
+        tree: out.tree,
+        side_cost: out.v2_cost,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cover::side_minimum_cover_bruteforce;
     use crate as mcc_steiner_self;
+    use crate::cover::side_minimum_cover_bruteforce;
     use mcc_graph::bipartite::bipartite_from_lists;
     use mcc_graph::NodeId;
 
@@ -84,7 +87,11 @@ mod tests {
                 PseudoSide::V2 => bg.v2_set(),
             };
             let bf = side_minimum_cover_bruteforce(bg.graph(), &terminals, &side_set).unwrap();
-            assert_eq!(sol.side_cost, bf.intersection(&side_set).len(), "side={side:?}");
+            assert_eq!(
+                sol.side_cost,
+                bf.intersection(&side_set).len(),
+                "side={side:?}"
+            );
         }
     }
 

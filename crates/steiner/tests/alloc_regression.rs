@@ -1,0 +1,123 @@
+//! Allocation regression test for Algorithm 2's elimination loop.
+//!
+//! The whole point of the workspace refactor is that Step 1 of
+//! Algorithm 2 — `O(|V|)` terminal-connectivity BFS tests against a
+//! shrinking alive mask — touches the heap **zero** times once the
+//! workspace has warmed up to the graph size. This test installs a
+//! counting global allocator and pins that down on a (6,2)-chordal
+//! instance: one warm-up pass, then a full measured pass that must report
+//! exactly zero allocations.
+//!
+//! (The library forbids `unsafe`, but the allocator shim below needs it;
+//! integration tests compile as their own crates, so the `forbid` does
+//! not reach here.)
+
+use mcc_graph::{builder::graph_from_edges, NodeId, NodeSet, Workspace};
+use mcc_steiner::{algorithm2, eliminate_nonredundant_in};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Counts every allocation and reallocation, delegating to the system
+/// allocator. Deallocations are not counted (freeing is allowed — though
+/// the loop under test does not free either).
+struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A chain of `blocks` squares (C4s) glued at articulation nodes:
+/// `a_i — b_i — a_{i+1}` and `a_i — c_i — a_{i+1}`. Every block is a C4
+/// and every cycle lives inside one block, so the graph is
+/// (6,2)-chordal (no cycle of length ≥ 6 exists at all) and Algorithm 2
+/// is exact on it (Theorem 5).
+fn c4_chain(blocks: usize) -> (mcc_graph::Graph, NodeSet) {
+    // Node layout: a_0..a_blocks at indices 0..=blocks, then for block i
+    // the pair (b_i, c_i) at blocks + 1 + 2i and blocks + 2 + 2i.
+    let n = blocks + 1 + 2 * blocks;
+    let mut edges = Vec::new();
+    for i in 0..blocks {
+        let (a, a_next) = (i, i + 1);
+        let b = blocks + 1 + 2 * i;
+        let c = b + 1;
+        edges.extend([(a, b), (b, a_next), (a, c), (c, a_next)]);
+    }
+    let g = graph_from_edges(n, &edges);
+    let terminals = NodeSet::from_nodes(n, [NodeId(0), NodeId(blocks as u32)]);
+    (g, terminals)
+}
+
+/// Copies `src` into `dst` member-by-member without touching the heap
+/// (both sets already have the right capacity).
+fn refill(dst: &mut NodeSet, src: &NodeSet) {
+    dst.clear();
+    for v in src.iter() {
+        dst.insert(v);
+    }
+}
+
+#[test]
+fn elimination_loop_allocates_nothing_after_warmup() {
+    let blocks = 8;
+    let (g, terminals) = c4_chain(blocks);
+    let n = g.node_count();
+    let order: Vec<NodeId> = g.nodes().collect();
+    let full = NodeSet::full(n);
+    let mut alive = full.clone();
+    let mut ws = Workspace::new();
+
+    // Warm-up: grows the visited array, queue, and pooled buffers to this
+    // graph's size and runs the full elimination once.
+    eliminate_nonredundant_in(&mut ws, &g, &terminals, &order, &mut alive);
+    // On a (6,2)-chordal graph the surviving nonredundant cover is minimum
+    // (Lemma 5): one a-node path plus one midpoint per block.
+    assert_eq!(
+        alive.len(),
+        blocks + 1 + blocks,
+        "warm-up must produce the minimum cover"
+    );
+
+    // Measured pass: the complete elimination, from the full alive mask,
+    // through the warm workspace.
+    refill(&mut alive, &full);
+    let before = allocation_count();
+    eliminate_nonredundant_in(&mut ws, &g, &terminals, &order, &mut alive);
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "elimination loop must not allocate after warm-up ({} allocations observed)",
+        after - before
+    );
+    assert_eq!(alive.len(), blocks + 1 + blocks);
+
+    // The full wrapper agrees with the loop-plus-trim decomposition.
+    let tree = algorithm2(&g, &terminals).expect("terminals connected");
+    assert_eq!(tree.node_cost(), alive.len());
+}

@@ -66,14 +66,15 @@ fn has_nonredundant_nonminimum_cover(g: &mcc_graph::Graph) -> bool {
     for tmask in 1u32..(1 << n) {
         let terminals = NodeSet::from_nodes(
             n,
-            (0..n).filter(|i| tmask & (1 << i) != 0).map(NodeId::from_index),
+            (0..n)
+                .filter(|i| tmask & (1 << i) != 0)
+                .map(NodeId::from_index),
         );
         let Some(min) = mcc_steiner::minimum_cover_bruteforce(g, &terminals) else {
             continue;
         };
         // All covers ⊇ terminals.
-        let free: Vec<NodeId> =
-            g.nodes().filter(|v| !terminals.contains(*v)).collect();
+        let free: Vec<NodeId> = g.nodes().filter(|v| !terminals.contains(*v)).collect();
         for cmask in 0u32..(1 << free.len()) {
             let mut cover = terminals.clone();
             for (i, &v) in free.iter().enumerate() {

@@ -66,9 +66,11 @@ fn main() {
     // only on rejection.
     println!();
     println!("interactive disambiguation (user rejects the first reading):");
-    let mut session =
-        DisambiguationSession::open(g, &terminals, 5, 2).expect("connected query");
-    println!("  system: {}", session.describe_current().expect("has proposal"));
+    let mut session = DisambiguationSession::open(g, &terminals, 5, 2).expect("connected query");
+    println!(
+        "  system: {}",
+        session.describe_current().expect("has proposal")
+    );
     println!("  user:   no, the other one");
     session.reject();
     if let Some(desc) = session.describe_current() {
@@ -79,8 +81,5 @@ fn main() {
         );
     }
     let accepted = session.accept().expect("accepted");
-    println!(
-        "  accepted: {} objects",
-        accepted.node_cost()
-    );
+    println!("  accepted: {} objects", accepted.node_cost());
 }

@@ -7,9 +7,7 @@
 
 use mcc::figures;
 use mcc::graph::NodeId;
-use mcc::steiner::{
-    eliminate_with_ordering, minimum_cover_bruteforce, ordering_landscape,
-};
+use mcc::steiner::{eliminate_with_ordering, minimum_cover_bruteforce, ordering_landscape};
 use mcc_graph::builder::graph_from_edges;
 
 fn main() {
@@ -34,11 +32,16 @@ fn main() {
     let f = figures::fig11();
     let g = f.g.graph();
     println!("Fig. 11 (12 nodes, (6,1)-chordal): the four Theorem 6 cases");
-    println!("{:<8} {:<22} {:>7} {:>8}", "first", "terminal set", "greedy", "minimum");
+    println!(
+        "{:<8} {:<22} {:>7} {:>8}",
+        "first", "terminal set", "greedy", "minimum"
+    );
     for (first, terms) in &f.cases {
         let mut order: Vec<NodeId> = vec![*first];
         order.extend(g.nodes().filter(|v| v != first));
-        let got = eliminate_with_ordering(g, &order, terms).expect("feasible").len();
+        let got = eliminate_with_ordering(g, &order, terms)
+            .expect("feasible")
+            .len();
         let min = minimum_cover_bruteforce(g, terms).expect("feasible").len();
         let labels: Vec<&str> = terms.iter().map(|v| g.label(v)).collect();
         println!(

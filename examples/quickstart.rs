@@ -16,9 +16,13 @@ fn main() {
         &["reader", "book", "due", "title", "name"],
         &["LOANS", "BOOKS", "READERS"],
         &[
-            (0, 0), (1, 0), (2, 0), // LOANS
-            (1, 1), (3, 1), // BOOKS
-            (0, 2), (4, 2), // READERS
+            (0, 0),
+            (1, 0),
+            (2, 0), // LOANS
+            (1, 1),
+            (3, 1), // BOOKS
+            (0, 2),
+            (4, 2), // READERS
         ],
     );
 
@@ -34,12 +38,20 @@ fn main() {
     let g = solver.graph().graph();
     let terminals = NodeSet::from_nodes(
         g.node_count(),
-        ["name", "title"].iter().map(|l| g.node_by_label(l).expect("known label")),
+        ["name", "title"]
+            .iter()
+            .map(|l| g.node_by_label(l).expect("known label")),
     );
-    let sol = solver.solve_steiner(&terminals).expect("schema is connected");
+    let sol = solver
+        .solve_steiner(&terminals)
+        .expect("schema is connected");
 
     println!("=== minimal connection: name -- title ===");
-    println!("strategy: {:?} (optimal: {})", sol.strategy, sol.strategy.optimal());
+    println!(
+        "strategy: {:?} (optimal: {})",
+        sol.strategy,
+        sol.strategy.optimal()
+    );
     println!("objects used ({}):", sol.cost);
     for v in sol.tree.nodes.iter() {
         println!("  {}", g.label(v));
@@ -56,5 +68,8 @@ fn main() {
         .expect("schema is alpha-acyclic");
     println!();
     println!("=== minimum-relation connection ===");
-    println!("strategy: {:?}, relations used: {}", pseudo.strategy, pseudo.cost);
+    println!(
+        "strategy: {:?}, relations used: {}",
+        pseudo.strategy, pseudo.cost
+    );
 }

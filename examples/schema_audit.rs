@@ -27,7 +27,12 @@ fn main() {
         RelationalSchema::from_lists(
             "triangle+root",
             &["a", "b", "c"],
-            &[("AB", &[0, 1]), ("BC", &[1, 2]), ("AC", &[0, 2]), ("ABC", &[0, 1, 2])],
+            &[
+                ("AB", &[0, 1]),
+                ("BC", &[1, 2]),
+                ("AC", &[0, 2]),
+                ("ABC", &[0, 1, 2]),
+            ],
         ),
         // A genuinely cyclic schema.
         RelationalSchema::from_lists(
@@ -56,7 +61,10 @@ fn main() {
 
     // Summary table.
     println!("=== summary ===");
-    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "schema", "(4,1)", "(6,2)", "(6,1)", "alpha");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "schema", "(4,1)", "(6,2)", "(6,1)", "alpha"
+    );
     for schema in &schemas {
         let r = audit_relational(schema).expect("validated above");
         let c = r.classification;

@@ -22,7 +22,10 @@ fn main() {
         "seed", "nodes", "terms", "alg2", "exact", "kmb", "alg2 us", "exact us"
     );
     for seed in 0..8u64 {
-        let shape = mcc_gen::block_tree::BlockTreeShape { blocks: 8, max_block: 4 };
+        let shape = mcc_gen::block_tree::BlockTreeShape {
+            blocks: 8,
+            max_block: 4,
+        };
         let bg = random_six_two_block_tree(shape, seed);
         let g = bg.graph().clone();
         let terminals = random_terminals(&g, None, 5, seed + 1000);
@@ -32,8 +35,8 @@ fn main() {
         let alg2_us = t0.elapsed().as_micros();
 
         let t0 = Instant::now();
-        let exact = steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone()))
-            .expect("connected");
+        let exact =
+            steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone())).expect("connected");
         let exact_us = t0.elapsed().as_micros();
 
         let kmb = steiner_kmb(&g, &terminals).expect("connected");
@@ -70,7 +73,11 @@ fn main() {
             steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone())),
             steiner_kmb(&g, &terminals),
         ) else {
-            println!("{seed:>4} {:>6} {:>6}  (terminals disconnected)", g.node_count(), terminals.len());
+            println!(
+                "{seed:>4} {:>6} {:>6}  (terminals disconnected)",
+                g.node_count(),
+                terminals.len()
+            );
             continue;
         };
         let ratio = greedy.node_cost() as f64 / exact.cost as f64;
@@ -88,4 +95,35 @@ fn main() {
     }
     println!("worst greedy/exact ratio observed: {worst:.3}");
     println!("(Theorem 5's guarantee is confined to the (6,2)-chordal class.)");
+
+    println!();
+    println!("--- solver workspace traffic (SolveStats) ---");
+    println!(
+        "{:>4} {:>6} {:>10} {:>10} {:>10} {:>12}",
+        "seed", "terms", "strategy", "bfs", "elim", "scratch B"
+    );
+    for seed in 0..4u64 {
+        let shape = mcc_gen::block_tree::BlockTreeShape {
+            blocks: 8,
+            max_block: 4,
+        };
+        let bg = random_six_two_block_tree(shape, seed);
+        let terminals = random_terminals(bg.graph(), None, 5, seed + 1000);
+        let solver = Solver::new(bg);
+        let sol = solver.solve_steiner(&terminals).expect("connected");
+        println!(
+            "{:>4} {:>6} {:>10} {:>10} {:>10} {:>12}",
+            seed,
+            terminals.len(),
+            format!("{:?}", sol.strategy),
+            sol.stats.bfs_runs,
+            sol.stats.elimination_steps,
+            sol.stats.scratch_bytes
+        );
+        // Repeat query through the same solver: the scratch footprint has
+        // stabilized (no new buffers), the traffic repeats.
+        let again = solver.solve_steiner(&terminals).expect("connected");
+        assert_eq!(again.stats.scratch_bytes, sol.stats.scratch_bytes);
+    }
+    println!("(scratch bytes stay flat across repeat queries: the workspace reuses its buffers)");
 }

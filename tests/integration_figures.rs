@@ -6,8 +6,7 @@ use mcc::prelude::*;
 use mcc_chordality::{is_chordal, is_chordal_bipartite_via_beta, project_onto};
 use mcc_datamodel::enumerate_tree_interpretations;
 use mcc_hypergraph::{
-    gyo_reduce, is_alpha_acyclic, is_berge_acyclic, is_beta_acyclic, is_conformal,
-    is_gamma_acyclic,
+    gyo_reduce, is_alpha_acyclic, is_berge_acyclic, is_beta_acyclic, is_conformal, is_gamma_acyclic,
 };
 use mcc_steiner::{eliminate_with_ordering, minimum_cover_bruteforce, steiner_exact};
 
@@ -102,7 +101,11 @@ fn f8_cover_taxonomy_is_strict() {
     // Minimum covers are nonredundant but not conversely.
     let min = minimum_cover_bruteforce(g, &f.terminals).unwrap();
     assert!(mcc_steiner::is_nonredundant_cover(g, &min, &f.terminals));
-    assert!(mcc_steiner::is_nonredundant_cover(g, &f.nonredundant, &f.terminals));
+    assert!(mcc_steiner::is_nonredundant_cover(
+        g,
+        &f.nonredundant,
+        &f.terminals
+    ));
     assert!(f.nonredundant.len() > min.len());
 }
 
@@ -115,8 +118,7 @@ fn f9_cspc_gadget_agrees_with_source() {
     let weights: Vec<u64> = (0..g.graph.graph().node_count())
         .map(|i| u64::from(i >= n))
         .collect();
-    let sol =
-        mcc_steiner::steiner_exact_node_weighted(g.graph.graph(), &lifted, &weights).unwrap();
+    let sol = mcc_steiner::steiner_exact_node_weighted(g.graph.graph(), &lifted, &weights).unwrap();
     assert_eq!(Some(sol.cost as usize), g.cspc_bruteforce(&terms));
 }
 
@@ -179,7 +181,9 @@ fn f11_theorem6_case_analysis() {
         o3.extend(others.iter().rev().copied());
         orderings.push(o3);
 
-        let min = minimum_cover_bruteforce(g, bad_terms).expect("feasible").len();
+        let min = minimum_cover_bruteforce(g, bad_terms)
+            .expect("feasible")
+            .len();
         for order in orderings {
             let got = eliminate_with_ordering(g, &order, bad_terms).expect("feasible");
             assert!(
@@ -206,6 +210,11 @@ fn f11_each_case_is_individually_solvable() {
         order.push(*first);
         let got = eliminate_with_ordering(g, &order, terms).expect("feasible");
         let min = minimum_cover_bruteforce(g, terms).unwrap().len();
-        assert_eq!(got.len(), min, "deferring {:?} should solve its case", g.label(*first));
+        assert_eq!(
+            got.len(),
+            min,
+            "deferring {:?} should solve its case",
+            g.label(*first)
+        );
     }
 }

@@ -4,8 +4,8 @@
 use mcc::prelude::*;
 use mcc_chordality::classify_bipartite;
 use mcc_gen::{
-    random_alpha_acyclic, random_bipartite, random_interval_hypergraph,
-    random_six_two_block_tree, random_terminals, random_tree_bipartite,
+    random_alpha_acyclic, random_bipartite, random_interval_hypergraph, random_six_two_block_tree,
+    random_terminals, random_tree_bipartite,
 };
 use mcc_hypergraph::{h1_of_bipartite, AcyclicityDegree};
 use mcc_steiner::is_steiner_tree_for;
@@ -117,10 +117,16 @@ fn schema_roundtrip_through_every_representation() {
         let (h, _) = random_alpha_acyclic(Default::default(), seed);
         let schema = RelationalSchema::from_hypergraph("generated", &h);
         let h2 = schema.to_hypergraph().expect("valid by construction");
-        assert!(mcc_hypergraph::dual::index_identical(&h, &h2), "seed {seed}");
+        assert!(
+            mcc_hypergraph::dual::index_identical(&h, &h2),
+            "seed {seed}"
+        );
         let bg = schema.to_bipartite().expect("valid");
         let (h3, _, _) = h1_of_bipartite(&bg).expect("no isolated relations");
-        assert!(mcc_hypergraph::dual::index_identical(&h, &h3), "seed {seed}");
+        assert!(
+            mcc_hypergraph::dual::index_identical(&h, &h3),
+            "seed {seed}"
+        );
     }
 }
 
@@ -135,7 +141,10 @@ fn algorithms_scale_to_thousands_of_nodes() {
 
     // Algorithm 2 on a ~2000-node block tree.
     let bg = random_six_two_block_tree(
-        mcc_gen::block_tree::BlockTreeShape { blocks: 400, max_block: 4 },
+        mcc_gen::block_tree::BlockTreeShape {
+            blocks: 400,
+            max_block: 4,
+        },
         7,
     );
     let g = bg.graph();
@@ -149,7 +158,11 @@ fn algorithms_scale_to_thousands_of_nodes() {
 
     // Algorithm 1 on a ~1500-relation join-tree schema.
     let (_, bg) = random_alpha_acyclic(
-        mcc_gen::join_tree::JoinTreeShape { num_edges: 1500, max_shared: 3, max_fresh: 2 },
+        mcc_gen::join_tree::JoinTreeShape {
+            num_edges: 1500,
+            max_shared: 3,
+            max_fresh: 2,
+        },
         11,
     );
     assert!(bg.graph().node_count() > 1500);
@@ -174,7 +187,10 @@ fn algorithms_scale_to_thousands_of_nodes() {
 fn classification_scales() {
     use std::time::Instant;
     let bg = random_six_two_block_tree(
-        mcc_gen::block_tree::BlockTreeShape { blocks: 150, max_block: 4 },
+        mcc_gen::block_tree::BlockTreeShape {
+            blocks: 150,
+            max_block: 4,
+        },
         3,
     );
     let t0 = Instant::now();

@@ -89,12 +89,14 @@ fn interpretations_are_ranked_by_disclosure() {
     // interpretation; alternatives must disclose strictly more concepts.
     let engine = QueryEngine::new(university()).unwrap();
     let terminals = engine.resolve(&["student", "grade"]).unwrap();
-    let alts =
-        enumerate_tree_interpretations(engine.graph().graph(), &terminals, 5, 2);
+    let alts = enumerate_tree_interpretations(engine.graph().graph(), &terminals, 5, 2);
     assert!(!alts.is_empty());
     assert_eq!(alts[0].node_cost(), 3); // student-ENROLLED-grade
     for w in alts.windows(2) {
-        assert!(w[0].node_cost() <= w[1].node_cost(), "ranking must be monotone");
+        assert!(
+            w[0].node_cost() <= w[1].node_cost(),
+            "ranking must be monotone"
+        );
     }
 }
 

@@ -60,12 +60,9 @@ fn theorem2_gadget_is_algorithm1_friendly() {
         let out = algorithm1(&gadget.graph, &terms).expect("gadget is alpha-acyclic");
         // All terminals are V2; the V2-cost is forced to 3q + 1.
         assert_eq!(out.v2_cost, 3 * gadget.instance.q + 1, "seed {seed}");
-        let bf = side_minimum_cover_bruteforce(
-            gadget.graph.graph(),
-            &terms,
-            &gadget.graph.v2_set(),
-        )
-        .unwrap();
+        let bf =
+            side_minimum_cover_bruteforce(gadget.graph.graph(), &terms, &gadget.graph.v2_set())
+                .unwrap();
         assert_eq!(
             bf.intersection(&gadget.graph.v2_set()).len(),
             out.v2_cost,
@@ -131,7 +128,10 @@ fn lemma1_ordering_properties_hold() {
 #[test]
 fn theorem5_algorithm2_under_random_orderings() {
     for seed in 0..6 {
-        let shape = mcc_gen::block_tree::BlockTreeShape { blocks: 3, max_block: 3 };
+        let shape = mcc_gen::block_tree::BlockTreeShape {
+            blocks: 3,
+            max_block: 3,
+        };
         let bg = random_six_two_block_tree(shape, seed);
         let g = bg.graph();
         if g.node_count() > 18 {
@@ -144,8 +144,7 @@ fn theorem5_algorithm2_under_random_orderings() {
         // Sample orderings deterministically: rotations of the id order.
         let n = g.node_count();
         for rot in 0..n.min(6) {
-            let order: Vec<NodeId> =
-                (0..n).map(|i| NodeId::from_index((i + rot) % n)).collect();
+            let order: Vec<NodeId> = (0..n).map(|i| NodeId::from_index((i + rot) % n)).collect();
             let tree = algorithm2_with_order(g, &terminals, &order).expect("feasible");
             assert_eq!(
                 tree.node_cost(),
@@ -161,7 +160,11 @@ fn theorem5_algorithm2_under_random_orderings() {
 #[test]
 fn corollary4_both_sides_on_interval_schemas() {
     for seed in 0..6 {
-        let shape = mcc_gen::interval::IntervalShape { nodes: 6, edges: 4, max_len: 3 };
+        let shape = mcc_gen::interval::IntervalShape {
+            nodes: 6,
+            edges: 4,
+            max_len: 3,
+        };
         let (_, bg) = mcc_gen::random_interval_hypergraph(shape, seed);
         let g = bg.graph();
         let terminals = random_terminals(g, None, 2, seed + 100);
@@ -172,8 +175,8 @@ fn corollary4_both_sides_on_interval_schemas() {
                         PseudoSide::V1 => bg.v1_set(),
                         PseudoSide::V2 => bg.v2_set(),
                     };
-                    let bf = side_minimum_cover_bruteforce(g, &terminals, &side_set)
-                        .expect("feasible");
+                    let bf =
+                        side_minimum_cover_bruteforce(g, &terminals, &side_set).expect("feasible");
                     assert_eq!(
                         sol.side_cost,
                         bf.intersection(&side_set).len(),
@@ -196,16 +199,21 @@ fn corollary4_both_sides_on_interval_schemas() {
 fn strategies_are_consistent_on_six_two_graphs() {
     for seed in 0..5 {
         let bg = random_six_two_block_tree(
-            mcc_gen::block_tree::BlockTreeShape { blocks: 3, max_block: 3 },
+            mcc_gen::block_tree::BlockTreeShape {
+                blocks: 3,
+                max_block: 3,
+            },
             seed,
         );
         let g = bg.graph();
         let terminals = random_terminals(g, None, 3, seed + 9);
         let solver = Solver::new(bg.clone());
-        let auto = solver.solve_steiner(&terminals).expect("block trees are connected");
+        let auto = solver
+            .solve_steiner(&terminals)
+            .expect("block trees are connected");
         assert_eq!(auto.strategy, SteinerStrategy::Algorithm2);
-        let exact = steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone()))
-            .expect("connected");
+        let exact =
+            steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone())).expect("connected");
         assert_eq!(auto.cost as u64, exact.cost, "seed {seed}");
         let kmb = mcc_steiner::steiner_kmb(g, &terminals).expect("connected");
         assert!(kmb.node_cost() >= auto.cost);

@@ -1,0 +1,307 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `sample_size`, `throughput`, `bench_with_input`, `bench_function` —
+//! backed by straightforward wall-clock sampling: per benchmark, a short
+//! warm-up calibrates an iteration count so one sample lasts a few
+//! milliseconds, then `sample_size` samples are timed and the min/mean/max
+//! per-iteration times are printed in criterion's familiar
+//! `time: [low mid high]` shape.
+//!
+//! Full measurement only runs when the binary receives a `--bench`
+//! argument (which `cargo bench` always passes). Under any other harness
+//! each benchmark executes exactly once, keeping `cargo test --benches`
+//! cheap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target duration of one measured sample during calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+/// Warm-up budget per benchmark before sampling starts.
+const WARM_UP: Duration = Duration::from_millis(200);
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    measure: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: false,
+            sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Enable full measurement when the harness was invoked as a real
+    /// bench run (`cargo bench` passes `--bench`).
+    pub fn configure_from_args(mut self) -> Self {
+        self.measure = std::env::args().any(|a| a == "--bench");
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Run a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        let id = id.to_string();
+        group.bench_with_input(BenchmarkId::from_label(id), &(), |b, ()| f(b));
+        group.finish();
+    }
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendering, displayed as `function/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    fn from_label(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Units-of-work declaration used to derive a throughput line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare the work per iteration for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = if self.name.is_empty() {
+            id.label.clone()
+        } else {
+            format!("{}/{}", self.name, id.label)
+        };
+        let mut bencher = Bencher {
+            measure: self.criterion.measure,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&label, &bencher.samples, self.throughput);
+        self
+    }
+
+    /// Benchmark `f` with no input.
+    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Close the group. (Reports are emitted eagerly; this is a no-op
+    /// kept for API compatibility.)
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    /// Mean per-iteration time of each sample.
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run the routine under timing. In quick mode (no `--bench` in
+    /// argv) the routine executes once, untimed.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if !self.measure {
+            std::hint::black_box(routine());
+            return;
+        }
+
+        // Warm up and calibrate iterations-per-sample together.
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE {
+                break;
+            }
+            if warm_start.elapsed() >= WARM_UP {
+                // Routine is slow enough that warm-up ran out first.
+                break;
+            }
+            iters_per_sample = iters_per_sample.saturating_mul(2);
+        }
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<40} (quick mode: executed once)");
+        return;
+    }
+    let min = *samples.iter().min().unwrap();
+    let max = *samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    print!(
+        "{label:<40} time: [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            print!("  thrpt: {} elem/s", fmt_rate(n, mean));
+        }
+        Some(Throughput::Bytes(n)) => {
+            print!("  thrpt: {} B/s", fmt_rate(n, mean));
+        }
+        None => {}
+    }
+    println!();
+}
+
+fn fmt_time(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(per_iter: u64, mean: Duration) -> String {
+    let secs = mean.as_secs_f64();
+    if secs == 0.0 {
+        return "inf".to_string();
+    }
+    let rate = per_iter as f64 / secs;
+    if rate >= 1e9 {
+        format!("{:.3}G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.3}M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.3}K", rate / 1e3)
+    } else {
+        format!("{rate:.1}")
+    }
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Define a bench group function that runs each target against a shared
+/// [`Criterion`] instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion::default();
+        let mut runs = 0;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 1), &(), |b, ()| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn id_formatting() {
+        assert_eq!(BenchmarkId::new("alg", 32).label, "alg/32");
+    }
+}

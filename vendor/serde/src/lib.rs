@@ -1,0 +1,73 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only uses serde as a *capability marker*: types derive
+//! `Serialize`/`Deserialize` and tests assert the bounds hold, but nothing
+//! is ever serialized to a concrete format. With no network and no
+//! vendored registry, this crate supplies exactly that: the two traits
+//! (as markers) and the `derive` feature re-exporting the companion
+//! proc-macros. Swapping back to upstream serde is a one-line change in
+//! the workspace manifest.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker for types that can be serialized.
+///
+/// Upstream's `serialize` method is omitted: no caller in this workspace
+/// serializes to a concrete format, so the bound is the whole contract.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data living
+/// at least as long as `'de`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+macro_rules! impl_markers {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_markers!(
+    bool, u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, char, String
+);
+
+impl Serialize for str {}
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+
+impl<T: Serialize> Serialize for [T] {}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeSet<T> {}
+
+impl<T: Serialize> Serialize for std::collections::HashSet<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::HashSet<T> {}

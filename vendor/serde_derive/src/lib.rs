@@ -1,0 +1,144 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The companion `serde` stand-in defines `Serialize`/`Deserialize` as
+//! marker traits, so deriving them only needs the type's name and generic
+//! parameter names — extracted here with a tiny hand-rolled token scan
+//! instead of `syn` (which is unavailable offline).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the `Serialize` marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.impl_block("::serde::Serialize", &[])
+}
+
+/// Derive the `Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    item.impl_block("::serde::Deserialize<'de>", &["'de"])
+}
+
+struct Item {
+    name: String,
+    /// Generic parameter names in declaration order, e.g. `["'a", "T"]`.
+    generics: Vec<String>,
+}
+
+impl Item {
+    /// `impl<'de, T: Bound> Trait for Name<'a, T> {}` as a token stream.
+    fn impl_block(&self, trait_path: &str, extra_params: &[&str]) -> TokenStream {
+        let bound = trait_path.split('<').next().unwrap();
+        let mut params: Vec<String> = extra_params.iter().map(|p| p.to_string()).collect();
+        let mut args: Vec<String> = Vec::new();
+        for g in &self.generics {
+            if g.starts_with('\'') {
+                params.push(g.clone());
+            } else {
+                params.push(format!("{g}: {bound}"));
+            }
+            args.push(g.clone());
+        }
+        let params = if params.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", params.join(", "))
+        };
+        let args = if args.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", args.join(", "))
+        };
+        let src = format!(
+            "impl{params} {trait_path} for {name}{args} {{}}",
+            name = self.name
+        );
+        src.parse().expect("generated impl is valid Rust")
+    }
+}
+
+/// Extract the type name and generic parameter names from a
+/// `struct`/`enum` definition, skipping attributes and visibility.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("expected type name after `{kw}`, found {other:?}"),
+                };
+                let generics = match tokens.peek() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        parse_generic_names(&mut tokens)
+                    }
+                    _ => Vec::new(),
+                };
+                return Item { name, generics };
+            }
+        }
+        // Skip attribute bodies so an ident inside `#[doc = "struct"]`
+        // or a derive list cannot be mistaken for the keyword.
+        if let TokenTree::Punct(p) = &tt {
+            if p.as_char() == '#' {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Bracket {
+                        tokens.next();
+                    }
+                }
+            }
+        }
+    }
+    panic!("derive input contains no struct or enum");
+}
+
+/// Consume `<...>` after the type name, returning the parameter names
+/// (lifetimes keep their tick; bounds and defaults are dropped).
+fn parse_generic_names(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Vec<String> {
+    tokens.next(); // the `<`
+    let mut names = Vec::new();
+    let mut depth = 1usize;
+    let mut at_param_start = true;
+    let mut pending_lifetime = false;
+    while let Some(tt) = tokens.next() {
+        match &tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                ',' if depth == 1 => at_param_start = true,
+                '\'' if depth == 1 && at_param_start => pending_lifetime = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) => {
+                if depth == 1 && pending_lifetime {
+                    names.push(format!("'{id}"));
+                    pending_lifetime = false;
+                    at_param_start = false;
+                } else if depth == 1 && at_param_start {
+                    let s = id.to_string();
+                    if s == "const" {
+                        // `const N: usize` — the next ident is the name.
+                        if let Some(TokenTree::Ident(n)) = tokens.next() {
+                            names.push(n.to_string());
+                        }
+                    } else {
+                        names.push(s);
+                    }
+                    at_param_start = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    names
+}
