@@ -1,0 +1,85 @@
+//! E11 — cancellation-check overhead on the polynomial routes.
+//!
+//! The budgeted entry points thread a `CancelToken` through Algorithm 1
+//! and Algorithm 2's hot loops. Two costs are distinguishable:
+//!
+//! * `unbounded` — the legacy wrappers, whose token has no deadline: a
+//!   tick is one `Cell` decrement, the clock is never read;
+//! * `deadline` — a live (generous) wall-clock deadline: ticks burn fuel
+//!   and every `TICK_PERIOD` work units consult `Instant::now()`.
+//!
+//! The claim pinned by EXPERIMENTS.md §E11 is that the `deadline`
+//! variant stays within 2% of `unbounded` on the E4/E5 workloads — i.e.
+//! cooperative cancellation is effectively free on the paper's
+//! polynomial algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc::graph::{NodeId, Workspace};
+use mcc::steiner::{algorithm1, algorithm1_budgeted_in, algorithm2, algorithm2_budgeted_in};
+use mcc::SolveBudget;
+use mcc_bench::{alpha_workload, six_two_workload};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_algorithm1_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_cancellation_algorithm1");
+    group.sample_size(15);
+    for edges in [32usize, 128] {
+        let w = alpha_workload(edges, 4, 5);
+        group.throughput(Throughput::Elements(w.va() as u64));
+        group.bench_with_input(BenchmarkId::new("unbounded", edges), &w, |b, w| {
+            b.iter(|| black_box(algorithm1(&w.bipartite, &w.terminals).expect("on-class")))
+        });
+        group.bench_with_input(BenchmarkId::new("deadline", edges), &w, |b, w| {
+            let budget = SolveBudget::with_deadline(Duration::from_secs(3600));
+            let mut ws = Workspace::new();
+            b.iter(|| {
+                let token = budget.start();
+                black_box(
+                    algorithm1_budgeted_in(&mut ws, &w.bipartite, &w.terminals, &budget, &token)
+                        .expect("on-class"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_algorithm2_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_cancellation_algorithm2");
+    group.sample_size(15);
+    for blocks in [8usize, 32] {
+        let w = six_two_workload(blocks, 5, 3);
+        group.throughput(Throughput::Elements(w.va() as u64));
+        group.bench_with_input(BenchmarkId::new("unbounded", blocks), &w, |b, w| {
+            b.iter(|| black_box(algorithm2(w.graph(), &w.terminals).expect("connected")))
+        });
+        group.bench_with_input(BenchmarkId::new("deadline", blocks), &w, |b, w| {
+            let budget = SolveBudget::with_deadline(Duration::from_secs(3600));
+            let mut ws = Workspace::new();
+            let order: Vec<NodeId> = w.graph().nodes().collect();
+            b.iter(|| {
+                let token = budget.start();
+                black_box(
+                    algorithm2_budgeted_in(
+                        &mut ws,
+                        w.graph(),
+                        &w.terminals,
+                        &order,
+                        &budget,
+                        &token,
+                    )
+                    .expect("connected"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_algorithm1_overhead,
+    bench_algorithm2_overhead
+);
+criterion_main!(benches);

@@ -30,7 +30,7 @@ fn bench_pseudo_sides(c: &mut Criterion) {
         let terminals = random_terminals(g, Some(&biggest), 4.min(biggest.len()), 77);
         for side in [PseudoSide::V1, PseudoSide::V2] {
             group.bench_with_input(
-                BenchmarkId::new(format!("{side:?}"), nodes),
+                BenchmarkId::new(&format!("{side:?}"), nodes),
                 &(&bg, &terminals),
                 |b, (bg, terminals)| {
                     b.iter(|| black_box(pseudo_steiner(bg, terminals, side).expect("on-class")))

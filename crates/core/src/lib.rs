@@ -56,7 +56,11 @@ pub use mcc_steiner as steiner;
 pub mod figures;
 pub mod solver;
 
-pub use solver::{Solution, SolveStats, Solver, SolverConfig, SolverError, SteinerStrategy};
+pub use mcc_graph::{BudgetExceeded, BudgetKind, SolveBudget, Stage};
+pub use solver::{
+    Degraded, Solution, SolveError, SolveOutcome, SolveStats, Solver, SolverConfig, SolverError,
+    SteinerStrategy,
+};
 
 /// The most common imports in one place.
 pub mod prelude {
@@ -67,4 +71,6 @@ pub mod prelude {
     pub use mcc_steiner::{SteinerInstance, SteinerTree};
 
     pub use crate::solver::{Solution, SolveStats, Solver, SteinerStrategy};
+    pub use mcc_graph::{SolveBudget, Stage};
+    pub use mcc_steiner::{Degraded, SolveError, SolveOutcome};
 }

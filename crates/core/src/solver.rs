@@ -1,14 +1,30 @@
 //! One-call Steiner/pseudo-Steiner solving with automatic algorithm
-//! selection along the paper's complexity map.
+//! selection along the paper's complexity map — now *governed*: every
+//! solve runs under the [`SolverConfig`]'s [`SolveBudget`], walks a
+//! degradation ladder (Exact → KMB heuristic → `Err`) instead of hanging
+//! on adversarial instances, and is panic-isolated so a bug in one query
+//! cannot take down a long-lived solver shared across sessions.
 
 use mcc_chordality::{classify_bipartite_in, BipartiteClassification};
-use mcc_graph::{BipartiteGraph, NodeSet, Side, Workspace, WorkspaceStats};
+use mcc_graph::{
+    BipartiteGraph, BudgetExceeded, BudgetKind, CancelToken, NodeSet, Side, SolveBudget, Stage,
+    Workspace, WorkspaceStats,
+};
 use mcc_steiner::{
-    algorithm1_in, algorithm2_with_order_in, steiner_exact, steiner_exact_node_weighted,
-    steiner_kmb, SteinerInstance, SteinerTree,
+    algorithm1_budgeted_in, algorithm2_budgeted_in, steiner_exact_budgeted,
+    steiner_exact_node_weighted_budgeted, steiner_kmb_budgeted, SteinerInstance, SteinerTree,
 };
 use std::cell::RefCell;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+pub use mcc_steiner::{Degraded, SolveError, SolveOutcome};
+
+/// Back-compatible alias: the solver reports the unified [`SolveError`]
+/// taxonomy (the old two-variant enum's cases map to
+/// [`SolveError::Disconnected`] and [`SolveError::Budget`]).
+pub type SolverError = SolveError;
 
 /// Which algorithm answered, and with what guarantee.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,11 +49,12 @@ impl SteinerStrategy {
     }
 }
 
-/// Workspace traffic observed during one solve (deltas of the solver's
-/// long-lived [`Workspace`] counters, plus its current scratch
-/// footprint). The polynomial routes (Algorithms 1 and 2) account all
-/// their traversals here; the exact and heuristic fallbacks run outside
-/// the workspace, so their deltas are zero.
+/// Workspace traffic and budget consumption observed during one solve
+/// (deltas of the solver's long-lived [`Workspace`] counters, plus its
+/// current scratch footprint). The polynomial routes (Algorithms 1 and 2)
+/// account all their traversals here; the exact and heuristic fallbacks
+/// run outside the workspace, so their traversal deltas are zero — but
+/// `elapsed`/`budget_checks` cover every route.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolveStats {
     /// BFS sweeps run through the solver's workspace during this solve.
@@ -47,14 +64,24 @@ pub struct SolveStats {
     /// Peak scratch footprint of the workspace, in bytes (buffers only
     /// grow, so the value after a solve is the peak so far).
     pub scratch_bytes: usize,
+    /// Wall-clock time the solve consumed (including any ladder
+    /// fallbacks — the ladder shares one clock).
+    pub elapsed: Duration,
+    /// Deadline consultations by the cooperative cancellation token (a
+    /// measure of check traffic, one per `TICK_PERIOD` work units).
+    pub budget_checks: u64,
 }
 
 impl fmt::Display for SolveStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} BFS runs, {} elimination steps, {} scratch bytes",
-            self.bfs_runs, self.elimination_steps, self.scratch_bytes
+            "{} BFS runs, {} elimination steps, {} scratch bytes, {:?} elapsed, {} budget checks",
+            self.bfs_runs,
+            self.elimination_steps,
+            self.scratch_bytes,
+            self.elapsed,
+            self.budget_checks
         )
     }
 }
@@ -69,43 +96,30 @@ pub struct Solution {
     /// The minimized cost: total nodes for Steiner solves, side nodes for
     /// pseudo-Steiner solves.
     pub cost: usize,
-    /// Workspace traffic for this solve (see [`SolveStats`]).
+    /// Workspace traffic and budget consumption (see [`SolveStats`]).
     pub stats: SolveStats,
+    /// `Some` when the degradation ladder stepped down: the stage the
+    /// solve was routed to and the budget verdict that forced the
+    /// downgrade. `None` means the answer carries the routed strategy's
+    /// full guarantee.
+    pub degraded: Option<Degraded>,
 }
-
-/// Solver failures.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SolverError {
-    /// The terminals are not in one connected component.
-    Disconnected,
-    /// The instance is too large for the exact fallback and the heuristic
-    /// was disallowed.
-    TooLargeForExact,
-}
-
-impl fmt::Display for SolverError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SolverError::Disconnected => write!(f, "terminals cannot be connected"),
-            SolverError::TooLargeForExact => {
-                write!(
-                    f,
-                    "instance too large for exact solving and heuristics disabled"
-                )
-            }
-        }
-    }
-}
-
-impl std::error::Error for SolverError {}
 
 /// Tuning knobs for the fallback chain.
 #[derive(Debug, Clone, Copy)]
 pub struct SolverConfig {
-    /// Use the exact solver when the terminal count is at most this.
+    /// Route to the exact solver when the terminal count is at most this
+    /// (a *routing* preference — larger instances go straight to the
+    /// heuristic without a `Degraded` mark).
     pub max_exact_terminals: usize,
-    /// Permit the KMB heuristic as a last resort.
+    /// Permit the KMB heuristic, both as the off-class route for large
+    /// terminal sets and as the degradation-ladder fallback when the
+    /// exact solver exceeds its budget.
     pub allow_heuristic: bool,
+    /// Resource limits for every solve (deadline, DP table bytes,
+    /// instance size). The deadline spans the whole ladder: an exact
+    /// attempt and its heuristic fallback share one clock.
+    pub budget: SolveBudget,
 }
 
 impl Default for SolverConfig {
@@ -113,6 +127,7 @@ impl Default for SolverConfig {
         SolverConfig {
             max_exact_terminals: 12,
             allow_heuristic: true,
+            budget: SolveBudget::default(),
         }
     }
 }
@@ -126,6 +141,16 @@ impl Default for SolverConfig {
 /// the same solver perform no steady-state allocation inside the
 /// elimination loops. Per-solve traffic is reported as
 /// [`Solution::stats`].
+///
+/// ## Governance
+///
+/// Every solve runs under [`SolverConfig::budget`]. On a budget trip in
+/// the exact route the solver walks the degradation ladder — retry with
+/// the KMB heuristic under the same (already partly consumed) deadline —
+/// and marks the answer [`Solution::degraded`]. Panics in any route are
+/// caught at this boundary: the shared workspace is poisoned, healed on
+/// the next entry, and the caller receives [`SolveError::Internal`]
+/// instead of an abort.
 #[derive(Debug, Clone)]
 pub struct Solver {
     bg: BipartiteGraph,
@@ -162,19 +187,80 @@ impl Solver {
         &self.bg
     }
 
+    /// The active configuration (budget included).
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
     /// Solves the (node-count) Steiner problem: Algorithm 2 when the
     /// class allows, otherwise exact for small terminal sets, otherwise
-    /// the heuristic.
-    pub fn solve_steiner(&self, terminals: &NodeSet) -> Result<Solution, SolverError> {
+    /// the heuristic — stepping down the ladder on budget trips.
+    pub fn solve_steiner(&self, terminals: &NodeSet) -> Result<Solution, SolveError> {
+        self.guarded(|token| self.solve_steiner_inner(terminals, token))
+    }
+
+    /// Solves the pseudo-Steiner problem w.r.t. `side`: Algorithm 1 when
+    /// the corresponding hypergraph is α-acyclic, otherwise exact
+    /// node-weighted Dreyfus–Wagner for small terminal sets, degrading to
+    /// the (side-cost-oblivious) KMB tree on budget trips.
+    pub fn solve_pseudo(&self, terminals: &NodeSet, side: Side) -> Result<Solution, SolveError> {
+        self.guarded(|token| self.solve_pseudo_inner(terminals, side, token))
+    }
+
+    /// The panic-isolation and accounting boundary shared by the public
+    /// solve methods: heal a poisoned workspace, start the budget clock,
+    /// run the route under `catch_unwind`, stamp elapsed/check counters
+    /// on success, poison the workspace on panic.
+    fn guarded<F>(&self, run: F) -> Result<Solution, SolveError>
+    where
+        F: FnOnce(&CancelToken) -> Result<Solution, SolveError>,
+    {
+        {
+            let mut ws = self.ws.borrow_mut();
+            if ws.is_poisoned() {
+                ws.reset();
+            }
+        }
+        let token = self.config.budget.start();
+        // The workspace is epoch-stamped and the RefCell guard is dropped
+        // during unwind, so catching here cannot observe a torn borrow —
+        // only possibly-stale buffer contents, which `poison` flags for a
+        // reset at the next entry.
+        match catch_unwind(AssertUnwindSafe(|| run(&token))) {
+            Ok(mut result) => {
+                if let Ok(sol) = result.as_mut() {
+                    sol.stats.elapsed = token.elapsed();
+                    sol.stats.budget_checks = token.checks();
+                }
+                result
+            }
+            Err(payload) => {
+                if let Ok(mut ws) = self.ws.try_borrow_mut() {
+                    ws.poison();
+                }
+                Err(SolveError::Internal {
+                    stage: Stage::Session,
+                    detail: format!("solver panicked: {}", panic_message(&payload)),
+                })
+            }
+        }
+    }
+
+    fn solve_steiner_inner(
+        &self,
+        terminals: &NodeSet,
+        token: &CancelToken,
+    ) -> Result<Solution, SolveError> {
+        let budget = &self.config.budget;
         let g = self.bg.graph();
         if self.classification.six_two {
             let mut ws = self.ws.borrow_mut();
             let before = ws.stats;
             let mut order = ws.take_node_buf();
             order.extend(g.nodes());
-            let tree = algorithm2_with_order_in(&mut ws, g, terminals, &order);
+            let tree = algorithm2_budgeted_in(&mut ws, g, terminals, &order, budget, token);
             ws.return_node_buf(order);
-            let tree = tree.ok_or(SolverError::Disconnected)?;
+            let tree = tree?;
             let cost = tree.node_cost();
             let stats = Self::stats_since(&ws, before);
             return Ok(Solution {
@@ -182,37 +268,66 @@ impl Solver {
                 strategy: SteinerStrategy::Algorithm2,
                 cost,
                 stats,
+                degraded: None,
             });
         }
         let stats = self.idle_stats();
         if terminals.len() <= self.config.max_exact_terminals {
-            let sol = steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone()))
-                .ok_or(SolverError::Disconnected)?;
-            let cost = sol.tree.node_cost();
-            return Ok(Solution {
-                tree: sol.tree,
-                strategy: SteinerStrategy::Exact,
-                cost,
-                stats,
-            });
+            match steiner_exact_budgeted(
+                &SteinerInstance::new(g.clone(), terminals.clone()),
+                budget,
+                token,
+            ) {
+                Ok(sol) => {
+                    let cost = sol.tree.node_cost();
+                    return Ok(Solution {
+                        tree: sol.tree,
+                        strategy: SteinerStrategy::Exact,
+                        cost,
+                        stats,
+                        degraded: None,
+                    });
+                }
+                // The ladder: a budget trip in the exact route falls to
+                // the heuristic under the same (partly consumed) clock.
+                Err(SolveError::Budget(reason)) if self.config.allow_heuristic => {
+                    let tree = steiner_kmb_budgeted(g, terminals, budget, token)?;
+                    let cost = tree.node_cost();
+                    return Ok(Solution {
+                        tree,
+                        strategy: SteinerStrategy::Heuristic,
+                        cost,
+                        stats,
+                        degraded: Some(Degraded {
+                            from: Stage::ExactDp,
+                            reason,
+                        }),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
         }
         if self.config.allow_heuristic {
-            let tree = steiner_kmb(g, terminals).ok_or(SolverError::Disconnected)?;
+            let tree = steiner_kmb_budgeted(g, terminals, budget, token)?;
             let cost = tree.node_cost();
             return Ok(Solution {
                 tree,
                 strategy: SteinerStrategy::Heuristic,
                 cost,
                 stats,
+                degraded: None,
             });
         }
-        Err(SolverError::TooLargeForExact)
+        Err(SolveError::Budget(self.too_many_terminals(terminals.len())))
     }
 
-    /// Solves the pseudo-Steiner problem w.r.t. `side`: Algorithm 1 when
-    /// the corresponding hypergraph is α-acyclic, otherwise exact
-    /// node-weighted Dreyfus–Wagner for small terminal sets.
-    pub fn solve_pseudo(&self, terminals: &NodeSet, side: Side) -> Result<Solution, SolverError> {
+    fn solve_pseudo_inner(
+        &self,
+        terminals: &NodeSet,
+        side: Side,
+        token: &CancelToken,
+    ) -> Result<Solution, SolveError> {
+        let budget = &self.config.budget;
         let applicable = match side {
             Side::V2 => self.classification.pseudo_steiner_v2_polynomial(),
             Side::V1 => self.classification.pseudo_steiner_v1_polynomial(),
@@ -224,14 +339,14 @@ impl Solver {
             };
             let mut ws = self.ws.borrow_mut();
             let before = ws.stats;
-            let out = algorithm1_in(&mut ws, &oriented, terminals)
-                .map_err(|_| SolverError::Disconnected)?;
+            let out = algorithm1_budgeted_in(&mut ws, &oriented, terminals, budget, token)?;
             let stats = Self::stats_since(&ws, before);
             return Ok(Solution {
                 tree: out.tree,
                 strategy: SteinerStrategy::Algorithm1,
                 cost: out.v2_cost,
                 stats,
+                degraded: None,
             });
         }
         if terminals.len() <= self.config.max_exact_terminals {
@@ -241,16 +356,51 @@ impl Solver {
                 .nodes()
                 .map(|v| u64::from(self.bg.side(v) == side))
                 .collect();
-            let sol = steiner_exact_node_weighted(g, terminals, &weights)
-                .ok_or(SolverError::Disconnected)?;
-            return Ok(Solution {
-                tree: sol.tree,
-                strategy: SteinerStrategy::Exact,
-                cost: sol.cost as usize,
-                stats,
-            });
+            match steiner_exact_node_weighted_budgeted(g, terminals, &weights, budget, token) {
+                Ok(sol) => {
+                    return Ok(Solution {
+                        tree: sol.tree,
+                        strategy: SteinerStrategy::Exact,
+                        cost: sol.cost as usize,
+                        stats,
+                        degraded: None,
+                    });
+                }
+                // Ladder: best-effort KMB tree; its side cost carries no
+                // optimality guarantee, which `degraded` records.
+                Err(SolveError::Budget(reason)) if self.config.allow_heuristic => {
+                    let tree = steiner_kmb_budgeted(g, terminals, budget, token)?;
+                    let side_set = match side {
+                        Side::V1 => self.bg.v1_set(),
+                        Side::V2 => self.bg.v2_set(),
+                    };
+                    let cost = tree.nodes.intersection(&side_set).len();
+                    return Ok(Solution {
+                        tree,
+                        strategy: SteinerStrategy::Heuristic,
+                        cost,
+                        stats,
+                        degraded: Some(Degraded {
+                            from: Stage::ExactDp,
+                            reason,
+                        }),
+                    });
+                }
+                Err(e) => return Err(e),
+            }
         }
-        Err(SolverError::TooLargeForExact)
+        Err(SolveError::Budget(self.too_many_terminals(terminals.len())))
+    }
+
+    /// The routing cap acts as a budget: report it in the same structured
+    /// vocabulary as the cooperative checks.
+    fn too_many_terminals(&self, observed: usize) -> BudgetExceeded {
+        BudgetExceeded {
+            stage: Stage::Session,
+            kind: BudgetKind::ExactTerminals,
+            limit: self.config.max_exact_terminals as u64,
+            observed: observed as u64,
+        }
     }
 
     fn stats_since(ws: &Workspace, before: WorkspaceStats) -> SolveStats {
@@ -258,6 +408,7 @@ impl Solver {
             bfs_runs: ws.stats.bfs_runs - before.bfs_runs,
             elimination_steps: ws.stats.elimination_steps - before.elimination_steps,
             scratch_bytes: ws.scratch_bytes(),
+            ..SolveStats::default()
         }
     }
 
@@ -268,6 +419,24 @@ impl Solver {
             scratch_bytes: self.ws.borrow().scratch_bytes(),
             ..SolveStats::default()
         }
+    }
+}
+
+impl PartialEq for Solution {
+    /// Solutions compare by tree, strategy, and cost.
+    fn eq(&self, other: &Self) -> bool {
+        self.tree == other.tree && self.strategy == other.strategy && self.cost == other.cost
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -286,6 +455,7 @@ mod tests {
         assert_eq!(sol.strategy, SteinerStrategy::Algorithm2);
         assert!(sol.tree.is_valid_tree(solver.graph().graph()));
         assert!(terminals.is_subset_of(&sol.tree.nodes));
+        assert!(sol.degraded.is_none());
     }
 
     #[test]
@@ -302,6 +472,7 @@ mod tests {
         let sol = solver.solve_steiner(&terminals).unwrap();
         assert_eq!(sol.strategy, SteinerStrategy::Exact);
         assert_eq!(sol.cost, 3);
+        assert!(sol.degraded.is_none());
     }
 
     #[test]
@@ -312,7 +483,7 @@ mod tests {
         let solver = Solver::new(bg);
         match solver.solve_pseudo(&terminals, Side::V2) {
             Ok(sol) => assert_eq!(sol.strategy, SteinerStrategy::Algorithm1),
-            Err(SolverError::Disconnected) => {} // terminals may span components
+            Err(SolveError::Disconnected) => {} // terminals may span components
             Err(e) => panic!("unexpected error {e}"),
         }
     }
@@ -353,6 +524,7 @@ mod tests {
         assert_eq!(second.stats.scratch_bytes, first.stats.scratch_bytes);
         let display = format!("{}", first.stats);
         assert!(display.contains("BFS runs"), "{display}");
+        assert!(display.contains("budget checks"), "{display}");
     }
 
     #[test]
@@ -363,11 +535,11 @@ mod tests {
         let solver = Solver::new(bg);
         assert_eq!(
             solver.solve_steiner(&terminals),
-            Err(SolverError::Disconnected)
+            Err(SolveError::Disconnected)
         );
         assert_eq!(
             solver.solve_pseudo(&terminals, Side::V2),
-            Err(SolverError::Disconnected)
+            Err(SolveError::Disconnected)
         );
     }
 
@@ -383,27 +555,70 @@ mod tests {
         let cfg = SolverConfig {
             max_exact_terminals: 0,
             allow_heuristic: false,
+            ..SolverConfig::default()
         };
         let solver = Solver::with_config(bg.clone(), cfg);
-        assert_eq!(
-            solver.solve_steiner(&terminals),
-            Err(SolverError::TooLargeForExact)
-        );
+        // The routing cap is reported in the budget vocabulary.
+        match solver.solve_steiner(&terminals) {
+            Err(SolveError::Budget(b)) => {
+                assert_eq!(b.kind, BudgetKind::ExactTerminals);
+                assert_eq!((b.limit, b.observed), (0, 2));
+            }
+            other => panic!("expected a terminal-cap budget error, got {other:?}"),
+        }
         let cfg = SolverConfig {
             max_exact_terminals: 0,
             allow_heuristic: true,
+            ..SolverConfig::default()
         };
         let solver = Solver::with_config(bg, cfg);
-        assert_eq!(
-            solver.solve_steiner(&terminals).unwrap().strategy,
-            SteinerStrategy::Heuristic
-        );
+        let sol = solver.solve_steiner(&terminals).unwrap();
+        assert_eq!(sol.strategy, SteinerStrategy::Heuristic);
+        // Routed (not degraded): k exceeded the routing preference, no
+        // budget tripped.
+        assert!(sol.degraded.is_none());
     }
-}
 
-impl PartialEq for Solution {
-    /// Solutions compare by tree, strategy, and cost.
-    fn eq(&self, other: &Self) -> bool {
-        self.tree == other.tree && self.strategy == other.strategy && self.cost == other.cost
+    #[test]
+    fn dp_budget_trip_degrades_to_heuristic() {
+        // Off-class graph, terminal count within the routing cap, but a
+        // DP byte budget far too small for the table: the ladder must
+        // fall to KMB and mark the answer degraded.
+        let bg = bipartite_from_lists(
+            &["x1", "x2", "x3"],
+            &["y1", "y2", "y3"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)],
+        );
+        let n = bg.graph().node_count();
+        let terminals = NodeSet::from_nodes(n, [mcc_graph::NodeId(0), mcc_graph::NodeId(1)]);
+        let cfg = SolverConfig {
+            budget: SolveBudget {
+                max_dp_bytes: 0,
+                ..SolveBudget::default()
+            },
+            ..SolverConfig::default()
+        };
+        let solver = Solver::with_config(bg, cfg);
+        let sol = solver.solve_steiner(&terminals).unwrap();
+        assert_eq!(sol.strategy, SteinerStrategy::Heuristic);
+        let d = sol.degraded.expect("must record the downgrade");
+        assert_eq!(d.from, Stage::ExactDp);
+        assert_eq!(d.reason.kind, BudgetKind::DpTableBytes);
+        assert!(terminals.is_subset_of(&sol.tree.nodes));
+    }
+
+    #[test]
+    fn stats_report_budget_consumption() {
+        let bg = random_six_two_block_tree(Default::default(), 1);
+        let terminals = random_terminals(bg.graph(), None, 3, 2);
+        let cfg = SolverConfig {
+            budget: SolveBudget::with_deadline(Duration::from_secs(60)),
+            ..SolverConfig::default()
+        };
+        let solver = Solver::with_config(bg, cfg);
+        let sol = solver.solve_steiner(&terminals).unwrap();
+        // At least the stage-boundary checkpoint ran, and some time passed.
+        assert!(sol.stats.budget_checks >= 1);
+        assert!(sol.stats.elapsed > Duration::ZERO);
     }
 }

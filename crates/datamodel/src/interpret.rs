@@ -10,8 +10,15 @@
 //! increasing node count, exhaustively — intended for the concept-graph
 //! scale (tens of nodes), not for bulk workloads.
 
-use mcc_graph::{Graph, NodeId, NodeSet};
+use mcc_graph::{BudgetExceeded, BudgetKind, Graph, NodeId, NodeSet, Stage};
 use mcc_steiner::is_nonredundant_cover;
+
+/// Hard size cap of [`enumerate_connections`] (the sweep is `O(2^n)`).
+pub const MAX_CONNECTION_ENUM_NODES: usize = 24;
+
+/// Hard size cap of [`enumerate_tree_interpretations`] (spanning-tree
+/// enumeration on top of the `O(2^n)` cover sweep).
+pub const MAX_TREE_ENUM_NODES: usize = 20;
 
 /// Enumerates nonredundant covers of `terminals`, cheapest first, up to
 /// `max_results` results and at most `max_slack` nodes above the minimum.
@@ -19,20 +26,41 @@ use mcc_steiner::is_nonredundant_cover;
 ///
 /// # Panics
 /// Panics on graphs with more than 24 nodes (the enumeration is
-/// exponential by design).
+/// exponential by design). Use [`try_enumerate_connections`] to get the
+/// size violation as a value instead.
 pub fn enumerate_connections(
     g: &Graph,
     terminals: &NodeSet,
     max_results: usize,
     max_slack: usize,
 ) -> Vec<NodeSet> {
+    match try_enumerate_connections(g, terminals, max_results, max_slack) {
+        Ok(covers) => covers,
+        Err(e) => panic!("interpretation enumeration is for concept-graph scale: {e}"),
+    }
+}
+
+/// [`enumerate_connections`] with the size cap reported as a
+/// [`BudgetExceeded`] value (stage [`Stage::Enumeration`], kind
+/// [`BudgetKind::Nodes`]) instead of a panic — the entry point for
+/// user-reachable surfaces such as [`crate::DisambiguationSession`].
+pub fn try_enumerate_connections(
+    g: &Graph,
+    terminals: &NodeSet,
+    max_results: usize,
+    max_slack: usize,
+) -> Result<Vec<NodeSet>, BudgetExceeded> {
     let n = g.node_count();
-    assert!(
-        n <= 24,
-        "interpretation enumeration is for concept-graph scale (n ≤ 24)"
-    );
+    if n > MAX_CONNECTION_ENUM_NODES {
+        return Err(BudgetExceeded {
+            stage: Stage::Enumeration,
+            kind: BudgetKind::Nodes,
+            limit: MAX_CONNECTION_ENUM_NODES as u64,
+            observed: n as u64,
+        });
+    }
     if terminals.is_empty() || max_results == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let free: Vec<NodeId> = g.nodes().filter(|v| !terminals.contains(*v)).collect();
     let k = free.len();
@@ -51,11 +79,11 @@ pub fn enumerate_connections(
     }
     covers.sort_by_key(|c| (c.len(), c.to_vec()));
     let Some(min) = covers.first().map(|c| c.len()) else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     covers.retain(|c| c.len() <= min + max_slack);
     covers.truncate(max_results);
-    covers
+    Ok(covers)
 }
 
 /// Enumerates **tree** interpretations of a query: subtrees of `g` whose
@@ -73,23 +101,44 @@ pub fn enumerate_connections(
 /// subgraph.
 ///
 /// # Panics
-/// Panics on graphs with more than 20 nodes.
+/// Panics on graphs with more than 20 nodes. Use
+/// [`try_enumerate_tree_interpretations`] to get the size violation as a
+/// value instead.
 pub fn enumerate_tree_interpretations(
     g: &Graph,
     terminals: &NodeSet,
     max_results: usize,
     max_slack: usize,
 ) -> Vec<mcc_steiner::SteinerTree> {
+    match try_enumerate_tree_interpretations(g, terminals, max_results, max_slack) {
+        Ok(trees) => trees,
+        Err(e) => panic!("tree interpretation enumeration is for concept-graph scale: {e}"),
+    }
+}
+
+/// [`enumerate_tree_interpretations`] with the size cap reported as a
+/// [`BudgetExceeded`] value (stage [`Stage::Enumeration`], kind
+/// [`BudgetKind::Nodes`]) instead of a panic.
+pub fn try_enumerate_tree_interpretations(
+    g: &Graph,
+    terminals: &NodeSet,
+    max_results: usize,
+    max_slack: usize,
+) -> Result<Vec<mcc_steiner::SteinerTree>, BudgetExceeded> {
     let n = g.node_count();
-    assert!(
-        n <= 20,
-        "tree interpretation enumeration is for concept-graph scale (n ≤ 20)"
-    );
+    if n > MAX_TREE_ENUM_NODES {
+        return Err(BudgetExceeded {
+            stage: Stage::Enumeration,
+            kind: BudgetKind::Nodes,
+            limit: MAX_TREE_ENUM_NODES as u64,
+            observed: n as u64,
+        });
+    }
     if terminals.is_empty() || max_results == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let Some(min_cover) = mcc_steiner::minimum_cover_bruteforce(g, terminals) else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
     let budget = min_cover.len() + max_slack;
     let free: Vec<NodeId> = g.nodes().filter(|v| !terminals.contains(*v)).collect();
@@ -140,7 +189,7 @@ pub fn enumerate_tree_interpretations(
     trees.sort_by(|a, b| (a.node_cost(), &a.edges).cmp(&(b.node_cost(), &b.edges)));
     trees.dedup_by(|a, b| a.edges == b.edges && a.nodes == b.nodes);
     trees.truncate(max_results);
-    trees
+    Ok(trees)
 }
 
 /// Enumerates all spanning trees of the graph `(members, edges)` by
@@ -277,6 +326,33 @@ mod tests {
         let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
         let terminals = NodeSet::from_nodes(4, [NodeId(0), NodeId(2)]);
         assert!(enumerate_connections(&g, &terminals, 10, 5).is_empty());
+    }
+
+    #[test]
+    fn oversized_graphs_are_rejected_as_values() {
+        let edges: Vec<(usize, usize)> = (0..29).map(|i| (i, i + 1)).collect();
+        let g = graph_from_edges(30, &edges);
+        let terminals = NodeSet::from_nodes(30, [NodeId(0), NodeId(29)]);
+        let e = try_enumerate_connections(&g, &terminals, 10, 0).unwrap_err();
+        assert_eq!(e.stage, Stage::Enumeration);
+        assert_eq!(e.kind, BudgetKind::Nodes);
+        assert_eq!((e.limit, e.observed), (24, 30));
+        let e = try_enumerate_tree_interpretations(&g, &terminals, 10, 0).unwrap_err();
+        assert_eq!((e.limit, e.observed), (20, 30));
+    }
+
+    #[test]
+    fn try_variants_match_panicking_entry_points_in_range() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let terminals = NodeSet::from_nodes(4, [NodeId(0), NodeId(2)]);
+        assert_eq!(
+            try_enumerate_connections(&g, &terminals, 10, 1).unwrap(),
+            enumerate_connections(&g, &terminals, 10, 1)
+        );
+        assert_eq!(
+            try_enumerate_tree_interpretations(&g, &terminals, 10, 1).unwrap(),
+            enumerate_tree_interpretations(&g, &terminals, 10, 1)
+        );
     }
 
     #[test]

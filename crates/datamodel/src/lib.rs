@@ -19,9 +19,18 @@
 //!   heuristic), return the connection with its provenance;
 //! * [`interpret`] — enumeration of alternative minimal interpretations
 //!   (the EMPLOYEE/DATE ambiguity of the introduction).
+//!
+//! Every user-reachable surface here is panic-isolated: queries and
+//! disambiguation sessions run under a [`mcc_graph::SolveBudget`], report
+//! failures as values ([`QueryError`], [`SessionError`]), and catch
+//! solver panics at the boundary instead of unwinding into the caller.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// User input flows through this crate (DSL parsing, schema encoding,
+// query resolution); recoverable failures must be `Err`s, not unwraps.
+// Tests are exempt (the lint only fires on non-test builds anyway).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod catalog;
 pub mod classify;
@@ -38,7 +47,10 @@ pub use classify::{apply_repair_suggestion, audit_relational, SchemaReport};
 pub use dsl::{parse_schema, render_schema};
 pub use encode::er_to_relational;
 pub use er::{ErGraph, ErSchema, NodeKind};
-pub use interpret::{enumerate_connections, enumerate_tree_interpretations};
+pub use interpret::{
+    enumerate_connections, enumerate_tree_interpretations, try_enumerate_connections,
+    try_enumerate_tree_interpretations,
+};
 pub use join_plan::{join_plan, JoinPlan};
 pub use query::{Interpretation, QueryEngine, QueryError, Strategy};
 pub use relational::RelationalSchema;

@@ -3,11 +3,17 @@
 
 use crate::classify::audit_relational;
 use crate::relational::{RelationalSchema, RelationalSchemaError};
-use mcc_graph::{BipartiteGraph, NodeId, NodeSet, Side};
-use mcc_steiner::{
-    algorithm1, algorithm2, steiner_exact, steiner_kmb, SteinerInstance, SteinerTree,
+use mcc_graph::{
+    BipartiteGraph, BudgetExceeded, CancelToken, NodeId, NodeSet, Side, SolveBudget, Stage,
+    Workspace,
 };
+use mcc_steiner::{
+    algorithm1_budgeted_in, algorithm2_budgeted_in, steiner_exact_budgeted, steiner_kmb_budgeted,
+    Degraded, SolveError, SteinerInstance, SteinerTree,
+};
+use std::cell::RefCell;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which solver produced an interpretation — the provenance the paper's
 /// complexity map dictates.
@@ -37,6 +43,10 @@ pub struct Interpretation {
     pub relations: Vec<String>,
     /// Names of the attributes used (V1 nodes of the tree).
     pub attributes: Vec<String>,
+    /// Set when the intended route tripped its budget and the engine fell
+    /// back to the heuristic — the connection is valid but possibly
+    /// non-minimal.
+    pub degraded: Option<Degraded>,
 }
 
 impl Interpretation {
@@ -61,6 +71,12 @@ pub enum QueryError {
     Disconnected,
     /// The schema itself failed validation.
     Schema(RelationalSchemaError),
+    /// The solve exhausted its [`SolveBudget`] and no cheaper fallback
+    /// remained (the heuristic itself tripped, or none applies).
+    Budget(BudgetExceeded),
+    /// A solver invariant broke (or a solver panicked); the engine caught
+    /// it at the query boundary instead of unwinding into the caller.
+    Internal(String),
 }
 
 impl fmt::Display for QueryError {
@@ -69,6 +85,8 @@ impl fmt::Display for QueryError {
             QueryError::UnknownName(n) => write!(f, "unknown object name {n:?}"),
             QueryError::Disconnected => write!(f, "the named objects cannot be connected"),
             QueryError::Schema(e) => write!(f, "invalid schema: {e}"),
+            QueryError::Budget(e) => write!(f, "query exceeded its solve budget: {e}"),
+            QueryError::Internal(detail) => write!(f, "internal solver error: {detail}"),
         }
     }
 }
@@ -95,11 +113,24 @@ pub struct QueryEngine {
     bipartite: BipartiteGraph,
     six_two: bool,
     alpha: bool,
+    budget: SolveBudget,
+    ws: RefCell<Workspace>,
 }
 
 impl QueryEngine {
     /// Builds the engine: converts the schema and classifies it once.
+    /// Solves run under the default [`SolveBudget`] (no deadline, default
+    /// memory admission); see [`QueryEngine::with_budget`].
     pub fn new(schema: RelationalSchema) -> Result<Self, QueryError> {
+        Self::with_budget(schema, SolveBudget::default())
+    }
+
+    /// As [`QueryEngine::new`], with every solve governed by `budget`.
+    /// When the polynomial or exact route trips the budget, the engine
+    /// degrades to the heuristic where that can help (recorded on
+    /// [`Interpretation::degraded`]) and otherwise reports
+    /// [`QueryError::Budget`].
+    pub fn with_budget(schema: RelationalSchema, budget: SolveBudget) -> Result<Self, QueryError> {
         let bipartite = schema.to_bipartite().map_err(QueryError::Schema)?;
         let report = audit_relational(&schema).map_err(QueryError::Schema)?;
         Ok(QueryEngine {
@@ -107,7 +138,14 @@ impl QueryEngine {
             bipartite,
             six_two: report.classification.six_two,
             alpha: report.classification.h1_alpha_acyclic(),
+            budget,
+            ws: RefCell::new(Workspace::new()),
         })
+    }
+
+    /// The budget governing every solve of this engine.
+    pub fn budget(&self) -> &SolveBudget {
+        &self.budget
     }
 
     /// The underlying schema.
@@ -145,27 +183,83 @@ impl QueryEngine {
     }
 
     /// As [`QueryEngine::connect`], from already-resolved terminals.
+    ///
+    /// Each call starts a fresh [`CancelToken`] from the engine's budget,
+    /// so a wall-clock deadline is per query, not per engine lifetime. A
+    /// panic anywhere in the solve is caught here: the shared workspace
+    /// is poisoned (and healed on the next call) and the panic surfaces
+    /// as [`QueryError::Internal`].
     pub fn connect_terminals(&self, terminals: &NodeSet) -> Result<Interpretation, QueryError> {
-        let g = self.bipartite.graph();
-        let (tree, strategy) = if self.six_two {
-            let tree = algorithm2(g, terminals).ok_or(QueryError::Disconnected)?;
-            (tree, Strategy::Algorithm2)
-        } else if self.alpha {
-            let out =
-                algorithm1(&self.bipartite, terminals).map_err(|_| QueryError::Disconnected)?;
-            (out.tree, Strategy::Algorithm1)
-        } else if terminals.len() <= 10 && g.node_count() <= 64 {
-            let sol = steiner_exact(&SteinerInstance::new(g.clone(), terminals.clone()))
-                .ok_or(QueryError::Disconnected)?;
-            (sol.tree, Strategy::Exact)
-        } else {
-            let tree = steiner_kmb(g, terminals).ok_or(QueryError::Disconnected)?;
-            (tree, Strategy::Heuristic)
-        };
-        Ok(self.interpret(tree, strategy))
+        {
+            let mut ws = self.ws.borrow_mut();
+            if ws.is_poisoned() {
+                ws.reset();
+            }
+        }
+        let token = self.budget.start();
+        match catch_unwind(AssertUnwindSafe(|| self.route(terminals, &token))) {
+            Ok(result) => {
+                result.map(|(tree, strategy, degraded)| self.interpret(tree, strategy, degraded))
+            }
+            Err(payload) => {
+                if let Ok(mut ws) = self.ws.try_borrow_mut() {
+                    ws.poison();
+                }
+                Err(QueryError::Internal(panic_message(&payload)))
+            }
+        }
     }
 
-    fn interpret(&self, tree: SteinerTree, strategy: Strategy) -> Interpretation {
+    /// Picks the strongest licensed algorithm and runs it under `token`.
+    /// The off-class exact route degrades to the heuristic on a budget
+    /// trip (same token: one deadline spans both attempts); the
+    /// polynomial routes do not — nothing cheaper is available.
+    fn route(
+        &self,
+        terminals: &NodeSet,
+        token: &CancelToken,
+    ) -> Result<(SteinerTree, Strategy, Option<Degraded>), QueryError> {
+        let g = self.bipartite.graph();
+        if self.six_two {
+            let order: Vec<NodeId> = g.nodes().collect();
+            let mut ws = self.ws.borrow_mut();
+            let tree = algorithm2_budgeted_in(&mut ws, g, terminals, &order, &self.budget, token)
+                .map_err(solve_error)?;
+            Ok((tree, Strategy::Algorithm2, None))
+        } else if self.alpha {
+            let mut ws = self.ws.borrow_mut();
+            let out =
+                algorithm1_budgeted_in(&mut ws, &self.bipartite, terminals, &self.budget, token)
+                    .map_err(solve_error)?;
+            Ok((out.tree, Strategy::Algorithm1, None))
+        } else if terminals.len() <= 10 && g.node_count() <= 64 {
+            let inst = SteinerInstance::new(g.clone(), terminals.clone());
+            match steiner_exact_budgeted(&inst, &self.budget, token) {
+                Ok(sol) => Ok((sol.tree, Strategy::Exact, None)),
+                Err(SolveError::Budget(reason)) => {
+                    let tree = steiner_kmb_budgeted(g, terminals, &self.budget, token)
+                        .map_err(solve_error)?;
+                    let degraded = Degraded {
+                        from: Stage::ExactDp,
+                        reason,
+                    };
+                    Ok((tree, Strategy::Heuristic, Some(degraded)))
+                }
+                Err(e) => Err(solve_error(e)),
+            }
+        } else {
+            let tree =
+                steiner_kmb_budgeted(g, terminals, &self.budget, token).map_err(solve_error)?;
+            Ok((tree, Strategy::Heuristic, None))
+        }
+    }
+
+    fn interpret(
+        &self,
+        tree: SteinerTree,
+        strategy: Strategy,
+        degraded: Option<Degraded>,
+    ) -> Interpretation {
         let g = self.bipartite.graph();
         let name_of = |v: NodeId| g.label(v).to_string();
         let relations = tree
@@ -185,7 +279,43 @@ impl QueryEngine {
             strategy,
             relations,
             attributes,
+            degraded,
         }
+    }
+}
+
+/// Maps the solver taxonomy onto query errors. `NotAlphaAcyclic` is an
+/// internal contradiction here: the engine only routes to Algorithm 1
+/// after its own classification said the schema is α-acyclic.
+fn solve_error(e: SolveError) -> QueryError {
+    match e {
+        SolveError::Disconnected => QueryError::Disconnected,
+        SolveError::Budget(b) => QueryError::Budget(b),
+        SolveError::NotAlphaAcyclic => QueryError::Internal(
+            "schema classified α-acyclic but Algorithm 1 rejected it".to_string(),
+        ),
+        SolveError::Internal { stage, detail } => {
+            QueryError::Internal(format!("{stage}: {detail}"))
+        }
+    }
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl PartialEq for Interpretation {
+    /// Interpretations compare by tree and strategy (the name lists are
+    /// derived data).
+    fn eq(&self, other: &Self) -> bool {
+        self.tree == other.tree && self.strategy == other.strategy
     }
 }
 
@@ -260,12 +390,53 @@ mod tests {
         assert_eq!(it.node_cost(), 1);
         assert!(it.relations.is_empty());
     }
-}
 
-impl PartialEq for Interpretation {
-    /// Interpretations compare by tree and strategy (the name lists are
-    /// derived data).
-    fn eq(&self, other: &Self) -> bool {
-        self.tree == other.tree && self.strategy == other.strategy
+    fn cyclic_schema() -> RelationalSchema {
+        RelationalSchema::from_lists(
+            "cyc",
+            &["a", "b", "c"],
+            &[("r1", &[0, 1]), ("r2", &[1, 2]), ("r3", &[0, 2])],
+        )
+    }
+
+    #[test]
+    fn dp_budget_trip_degrades_query_to_heuristic() {
+        // Off-class schema routes to exact; a zero-byte DP admission cap
+        // trips it before allocation and the engine falls back to KMB.
+        let budget = SolveBudget {
+            max_dp_bytes: 0,
+            ..SolveBudget::default()
+        };
+        let engine = QueryEngine::with_budget(cyclic_schema(), budget).unwrap();
+        let it = engine.connect(&["a", "b"]).unwrap();
+        assert_eq!(it.strategy, Strategy::Heuristic);
+        let d = it.degraded.expect("fallback must be recorded");
+        assert_eq!(d.from, Stage::ExactDp);
+        assert_eq!(d.reason.kind, mcc_graph::BudgetKind::DpTableBytes);
+        // The answer is still a valid connection.
+        assert!(it.tree.is_valid_tree(engine.graph().graph()));
+    }
+
+    #[test]
+    fn expired_deadline_surfaces_as_budget_error() {
+        let budget = SolveBudget::with_deadline(std::time::Duration::ZERO);
+        let engine = QueryEngine::with_budget(acyclic_schema(), budget).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        match engine.connect(&["name", "budget"]) {
+            Err(QueryError::Budget(b)) => {
+                assert_eq!(b.kind, mcc_graph::BudgetKind::WallClockMs);
+            }
+            other => panic!("expected Budget error, got {other:?}"),
+        }
+        // The engine stays usable: an unbudgeted clone answers.
+        let engine = QueryEngine::new(acyclic_schema()).unwrap();
+        assert!(engine.connect(&["name", "budget"]).is_ok());
+    }
+
+    #[test]
+    fn in_class_solves_are_never_degraded() {
+        let engine = QueryEngine::new(acyclic_schema()).unwrap();
+        let it = engine.connect(&["name", "budget"]).unwrap();
+        assert!(it.degraded.is_none());
     }
 }

@@ -10,9 +10,10 @@
 //! presents them one at a time, and lets the caller accept or reject —
 //! the machine half of the paper's user-in-the-loop interface.
 
-use crate::interpret::enumerate_tree_interpretations;
-use mcc_graph::{Graph, NodeId, NodeSet};
+use crate::interpret::try_enumerate_tree_interpretations;
+use mcc_graph::{BudgetExceeded, Graph, NodeId, NodeSet};
 use mcc_steiner::SteinerTree;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One presented interpretation with its disclosure delta.
 #[derive(Debug, Clone)]
@@ -41,11 +42,29 @@ pub struct DisambiguationSession {
 pub enum SessionError {
     /// The query's objects cannot be connected at all.
     NoInterpretation,
+    /// The concept graph exceeds the enumeration's size cap — the
+    /// exhaustive interpretation sweep would not terminate in reasonable
+    /// time, so it is refused up front.
+    TooLarge(BudgetExceeded),
+    /// The enumeration panicked; the session machinery caught the panic
+    /// at the boundary instead of unwinding into the caller.
+    Internal(String),
 }
 
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "the named objects cannot be connected")
+        match self {
+            SessionError::NoInterpretation => {
+                write!(f, "the named objects cannot be connected")
+            }
+            SessionError::TooLarge(e) => write!(f, "concept graph too large: {e}"),
+            SessionError::Internal(detail) => {
+                write!(
+                    f,
+                    "internal error while enumerating interpretations: {detail}"
+                )
+            }
+        }
     }
 }
 
@@ -61,8 +80,14 @@ impl DisambiguationSession {
         max_alternatives: usize,
         max_slack: usize,
     ) -> Result<Self, SessionError> {
-        let alternatives =
-            enumerate_tree_interpretations(graph, terminals, max_alternatives, max_slack);
+        // The enumeration is the one exhaustive (and historically
+        // assert-guarded) step of the session; isolate it so a defect in
+        // the sweep surfaces as a value, not an unwind into the caller.
+        let swept = catch_unwind(AssertUnwindSafe(|| {
+            try_enumerate_tree_interpretations(graph, terminals, max_alternatives, max_slack)
+        }))
+        .map_err(|payload| SessionError::Internal(panic_message(&payload)))?;
+        let alternatives = swept.map_err(SessionError::TooLarge)?;
         if alternatives.is_empty() {
             return Err(SessionError::NoInterpretation);
         }
@@ -151,6 +176,18 @@ impl DisambiguationSession {
     }
 }
 
+/// Best-effort rendering of a caught panic payload (panics raised by
+/// `panic!` carry a `&str` or `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -199,6 +236,20 @@ mod tests {
         assert!(s.current().is_none());
         assert!(s.describe_current().is_none());
         assert!(s.accept().is_none());
+    }
+
+    #[test]
+    fn oversized_graph_is_refused_not_panicked() {
+        let edges: Vec<(usize, usize)> = (0..29).map(|i| (i, i + 1)).collect();
+        let g = mcc_graph::builder::graph_from_edges(30, &edges);
+        let terminals = NodeSet::from_nodes(30, [mcc_graph::NodeId(0), mcc_graph::NodeId(29)]);
+        match DisambiguationSession::open(&g, &terminals, 5, 2) {
+            Err(SessionError::TooLarge(e)) => {
+                assert_eq!(e.observed, 30);
+                assert_eq!(e.limit, 20);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod biconnected;
 pub mod bipartite;
+pub mod budget;
 pub mod builder;
 pub mod connectivity;
 pub mod cycles;
@@ -43,6 +44,7 @@ pub mod workspace;
 
 pub use biconnected::{biconnected_components, Biconnected};
 pub use bipartite::{BipartiteGraph, Side};
+pub use budget::{BudgetExceeded, BudgetKind, CancelToken, SolveBudget, Stage};
 pub use builder::GraphBuilder;
 pub use connectivity::{
     component_of, component_of_in, connected_components, connected_components_in, is_connected,

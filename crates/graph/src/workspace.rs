@@ -55,6 +55,9 @@ pub struct Workspace {
     usize_bufs: Vec<Vec<usize>>,
     /// Pool of bucket lists for the ordering algorithms (MCS, LexBFS).
     bucket_lists: Vec<Vec<Vec<NodeId>>>,
+    /// Set when a solve panicked mid-flight while holding this workspace;
+    /// see [`Workspace::poison`].
+    poisoned: bool,
     /// Traffic counters.
     pub stats: WorkspaceStats,
 }
@@ -76,6 +79,7 @@ impl Workspace {
             set_bufs: Vec::new(),
             usize_bufs: Vec::new(),
             bucket_lists: Vec::new(),
+            poisoned: false,
             stats: WorkspaceStats::default(),
         }
     }
@@ -174,6 +178,32 @@ impl Workspace {
     /// Return a bucket list taken with [`Workspace::take_bucket_list`].
     pub fn return_bucket_list(&mut self, buckets: Vec<Vec<NodeId>>) {
         self.bucket_lists.push(buckets);
+    }
+
+    /// Marks this workspace as possibly inconsistent: a solve panicked
+    /// while it held marks or borrowed buffers. A poisoned workspace must
+    /// be [`Workspace::reset`] before its marks can be trusted again —
+    /// the session boundaries (`mcc::Solver`, `QueryEngine`) do this
+    /// automatically at the next solve, so one panicking query cannot
+    /// corrupt a long-lived shared workspace.
+    pub fn poison(&mut self) {
+        self.poisoned = true;
+    }
+
+    /// `true` when [`Workspace::poison`] was called since the last
+    /// [`Workspace::reset`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Restores a consistent state: clears the visited marks and queue
+    /// (capacity retained) and lifts poisoning. Buffers lost to an
+    /// unwound borrower are simply re-pooled on next use.
+    pub fn reset(&mut self) {
+        self.visited.fill(0);
+        self.epoch = 0;
+        self.queue.clear();
+        self.poisoned = false;
     }
 
     /// Current scratch footprint in bytes. Buffers only ever grow, so this
@@ -279,6 +309,22 @@ mod tests {
         let before = ws.scratch_bytes();
         ws.begin_visit(1000);
         assert!(ws.scratch_bytes() >= before + 4000);
+    }
+
+    #[test]
+    fn poison_and_reset_roundtrip() {
+        let mut ws = Workspace::new();
+        assert!(!ws.is_poisoned());
+        ws.begin_visit(4);
+        ws.mark(NodeId(1));
+        ws.poison();
+        assert!(ws.is_poisoned());
+        ws.reset();
+        assert!(!ws.is_poisoned());
+        // Marks from before the reset are gone.
+        ws.begin_visit(4);
+        assert!(!ws.is_marked(NodeId(1)));
+        assert!(ws.mark(NodeId(1)));
     }
 
     #[test]

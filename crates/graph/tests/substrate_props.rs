@@ -2,6 +2,9 @@
 //! invariants, spanning trees, and the cycle enumerator's self-
 //! consistency. Everything downstream leans on these primitives.
 
+// Index loops below mirror the naive adjacency model they check against.
+#![allow(clippy::needless_range_loop)]
+
 use mcc_graph::{
     bfs_distances, bfs_order, bfs_order_in, biconnected_components, chords_of_cycle,
     connected_components, dfs_order, enumerate_cycles, induced_subgraph, is_connected_within,

@@ -18,10 +18,11 @@
 //! cardinality search on the edges of `H¹_G` (each edge is a `V₂` node)
 //! and reverse the resulting running-intersection ordering.
 
-use crate::SteinerTree;
+use crate::{SolveError, SolveOutcome, SteinerTree};
 use mcc_chordality::chordal_bipartite::drop_isolated_v2;
 use mcc_graph::{
-    component_of_in, terminals_connected_in, BipartiteGraph, NodeId, NodeSet, Side, Workspace,
+    component_of_in, terminals_connected_in, BipartiteGraph, CancelToken, NodeId, NodeSet, Side,
+    SolveBudget, Stage, Workspace,
 };
 use mcc_hypergraph::{h1_of_bipartite, running_intersection_ordering};
 use std::fmt;
@@ -90,9 +91,33 @@ pub fn algorithm1_in(
     bg: &BipartiteGraph,
     terminals: &NodeSet,
 ) -> Result<Algorithm1Output, Algorithm1Error> {
+    let budget = SolveBudget::unbounded();
+    let token = CancelToken::unbounded();
+    match algorithm1_budgeted_in(ws, bg, terminals, &budget, &token) {
+        Ok(out) => Ok(out),
+        Err(SolveError::Disconnected) => Err(Algorithm1Error::Infeasible),
+        Err(SolveError::NotAlphaAcyclic) => Err(Algorithm1Error::NotAlphaAcyclic),
+        Err(e) => panic!("unbudgeted Algorithm 1 failed: {e}"),
+    }
+}
+
+/// [`algorithm1_in`] under a [`SolveBudget`]: instance-size admission up
+/// front, a token tick per elimination candidate (weight `|V|`, the cost
+/// of the connectivity test), and the unified [`SolveError`] taxonomy.
+/// The zero-steady-state-allocation property of the elimination loop is
+/// unchanged — a tick is a [`std::cell::Cell`] decrement.
+pub fn algorithm1_budgeted_in(
+    ws: &mut Workspace,
+    bg: &BipartiteGraph,
+    terminals: &NodeSet,
+    budget: &SolveBudget,
+    token: &CancelToken,
+) -> SolveOutcome<Algorithm1Output> {
     let g = bg.graph();
     let n = g.node_count();
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
+    budget.admit_graph(Stage::Algorithm1, n, g.edge_count())?;
+    token.checkpoint(Stage::Algorithm1)?;
 
     if terminals.is_empty() {
         return Ok(Algorithm1Output {
@@ -132,7 +157,7 @@ pub fn algorithm1_in(
     ws.return_set_buf(full);
     if !terminals.is_subset_of(&alive) {
         ws.return_set_buf(alive);
-        return Err(Algorithm1Error::Infeasible);
+        return Err(SolveError::Disconnected);
     }
 
     // Step 1: Lemma 1 ordering. Build H¹ of the graph (isolated V2 nodes
@@ -141,7 +166,8 @@ pub fn algorithm1_in(
     let cleaned = drop_isolated_v2(bg);
     let (h1, _node_map, edge_map) = h1_of_bipartite(&cleaned).expect("isolated V2 nodes dropped");
     let Some(jt) = running_intersection_ordering(&h1) else {
-        return Err(Algorithm1Error::NotAlphaAcyclic);
+        ws.return_set_buf(alive);
+        return Err(SolveError::NotAlphaAcyclic);
     };
     // edge ids of H¹ → V2 node ids in `cleaned` → ids in `bg`. The
     // cleaned graph preserves labels and relative order, so rebuild the
@@ -154,11 +180,24 @@ pub fn algorithm1_in(
         .collect();
     ordering.reverse();
 
+    // Step 1 (H¹ + join tree) can itself be sizeable: settle up with the
+    // clock before entering the elimination loop.
+    if let Err(e) = token.checkpoint(Stage::Algorithm1) {
+        ws.return_set_buf(alive);
+        return Err(e.into());
+    }
+
     // Step 2: elimination within the component, on one alive mask.
     let mut private = ws.take_node_buf();
+    let mut tripped = None;
     for &v2 in &ordering {
         if !alive.contains(v2) {
             continue; // outside the component (or already private-removed)
+        }
+        // One candidate costs a connectivity test: ~|V| node visits.
+        if let Err(e) = token.tick(Stage::Algorithm1, n as u64) {
+            tripped = Some(e);
+            break;
         }
         ws.stats.elimination_steps += 1;
         g.private_neighbors_into(v2, &alive, &mut private);
@@ -177,6 +216,10 @@ pub fn algorithm1_in(
         }
     }
     ws.return_node_buf(private);
+    if let Some(e) = tripped {
+        ws.return_set_buf(alive);
+        return Err(e.into());
+    }
     // Defensive trim: drop anything not in the terminals' component
     // (cannot occur when every V2 node is processed, but cheap to
     // guarantee).
@@ -185,7 +228,16 @@ pub fn algorithm1_in(
     ws.return_set_buf(alive);
 
     // Step 3: spanning tree.
-    let tree = SteinerTree::from_cover(g, &trimmed).expect("elimination preserves coverage");
+    let tree = match SteinerTree::from_cover(g, &trimmed) {
+        Some(t) => t,
+        None => {
+            ws.return_set_buf(trimmed);
+            return Err(SolveError::Internal {
+                stage: Stage::Algorithm1,
+                detail: "elimination did not preserve terminal coverage".to_string(),
+            });
+        }
+    };
     let v2_cost = trimmed.intersection(&bg.v2_set()).len();
     ws.return_set_buf(trimmed);
     Ok(Algorithm1Output {
@@ -262,6 +314,14 @@ fn cleaned_id_map(bg: &BipartiteGraph, cleaned: &BipartiteGraph) -> Vec<NodeId> 
         .collect();
     debug_assert_eq!(kept.len(), cleaned.graph().node_count());
     kept
+}
+
+impl PartialEq for Algorithm1Output {
+    /// Outputs compare by tree and cost; the ordering is a certificate,
+    /// not part of the answer.
+    fn eq(&self, other: &Self) -> bool {
+        self.tree == other.tree && self.v2_cost == other.v2_cost
+    }
 }
 
 #[cfg(test)]
@@ -365,18 +425,39 @@ mod tests {
     }
 
     #[test]
+    fn budgeted_deadline_interrupts_the_solve() {
+        let bg = acyclic_schema();
+        let terminals = ids(&bg, &["a", "d"]);
+        let budget = SolveBudget::with_deadline(std::time::Duration::ZERO);
+        let token = budget.start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let mut ws = Workspace::new();
+        let e = algorithm1_budgeted_in(&mut ws, &bg, &terminals, &budget, &token).unwrap_err();
+        assert!(e.budget().is_some());
+        // The workspace stays usable: the unbudgeted path still solves.
+        let out = algorithm1_in(&mut ws, &bg, &terminals).unwrap();
+        assert_eq!(out.v2_cost, 2);
+    }
+
+    #[test]
+    fn budgeted_admission_rejects_oversized_instances() {
+        let bg = acyclic_schema();
+        let terminals = ids(&bg, &["a", "d"]);
+        let budget = SolveBudget {
+            max_nodes: 2,
+            ..SolveBudget::default()
+        };
+        let token = budget.start();
+        let mut ws = Workspace::new();
+        let e = algorithm1_budgeted_in(&mut ws, &bg, &terminals, &budget, &token).unwrap_err();
+        assert_eq!(e.budget().unwrap().kind, mcc_graph::BudgetKind::Nodes);
+    }
+
+    #[test]
     fn isolated_v2_nodes_tolerated() {
         let bg = bipartite_from_lists(&["a", "b"], &["r1", "dead"], &[(0, 0), (1, 0)]);
         let terminals = ids(&bg, &["a", "b"]);
         let out = algorithm1(&bg, &terminals).unwrap();
         assert_eq!(out.v2_cost, 1);
-    }
-}
-
-impl PartialEq for Algorithm1Output {
-    /// Outputs compare by tree and cost; the ordering is a certificate,
-    /// not part of the answer.
-    fn eq(&self, other: &Self) -> bool {
-        self.tree == other.tree && self.v2_cost == other.v2_cost
     }
 }

@@ -29,8 +29,11 @@
 //! Lemma 5 then makes it minimum — which the property tests verify
 //! against the exact solver.
 
-use crate::SteinerTree;
-use mcc_graph::{component_of_in, terminals_connected_in, Graph, NodeId, NodeSet, Workspace};
+use crate::{SolveError, SolveOutcome, SteinerTree};
+use mcc_graph::{
+    component_of_in, terminals_connected_in, BudgetExceeded, CancelToken, Graph, NodeId, NodeSet,
+    SolveBudget, Stage, Workspace,
+};
 
 /// Runs Algorithm 2 with the default elimination order (increasing node
 /// id). Returns `None` when the terminals are not connected.
@@ -77,10 +80,35 @@ pub fn algorithm2_with_order_in(
     terminals: &NodeSet,
     order: &[NodeId],
 ) -> Option<SteinerTree> {
+    let budget = SolveBudget::unbounded();
+    let token = CancelToken::unbounded();
+    match algorithm2_budgeted_in(ws, g, terminals, order, &budget, &token) {
+        Ok(tree) => Some(tree),
+        Err(SolveError::Disconnected) => None,
+        Err(e) => panic!("unbudgeted Algorithm 2 failed: {e}"),
+    }
+}
+
+/// [`algorithm2_with_order_in`] under a [`SolveBudget`]: instance-size
+/// admission up front, a token tick per elimination candidate, and the
+/// unified [`SolveError`] taxonomy (disconnection is an error, not
+/// `None`). The Step 1 loop keeps its zero-steady-state-allocation
+/// property — a tick is a [`std::cell::Cell`] decrement, and the clock is
+/// consulted only every [`mcc_graph::budget::TICK_PERIOD`] work units.
+pub fn algorithm2_budgeted_in(
+    ws: &mut Workspace,
+    g: &Graph,
+    terminals: &NodeSet,
+    order: &[NodeId],
+    budget: &SolveBudget,
+    token: &CancelToken,
+) -> SolveOutcome<SteinerTree> {
     let n = g.node_count();
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
+    budget.admit_graph(Stage::Algorithm2, n, g.edge_count())?;
+    token.checkpoint(Stage::Algorithm2)?;
     if terminals.is_empty() {
-        return Some(SteinerTree {
+        return Ok(SteinerTree {
             nodes: NodeSet::new(n),
             edges: vec![],
         });
@@ -98,9 +126,12 @@ pub fn algorithm2_with_order_in(
     ws.return_set_buf(full);
     if !terminals.is_subset_of(&alive) {
         ws.return_set_buf(alive);
-        return None;
+        return Err(SolveError::Disconnected);
     }
-    eliminate_nonredundant_in(ws, g, terminals, order, &mut alive);
+    if let Err(e) = eliminate_nonredundant_budgeted_in(ws, g, terminals, order, &mut alive, token) {
+        ws.return_set_buf(alive);
+        return Err(e.into());
+    }
     // When `order` covers every candidate the surviving set is already
     // connected (every kept node separates terminals, hence lies on a
     // terminal path); with a partial order, stranded never-eliminated
@@ -110,7 +141,10 @@ pub fn algorithm2_with_order_in(
     ws.return_set_buf(alive);
     let tree = SteinerTree::from_cover(g, &trimmed);
     ws.return_set_buf(trimmed);
-    tree
+    tree.ok_or_else(|| SolveError::Internal {
+        stage: Stage::Algorithm2,
+        detail: "elimination did not preserve terminal coverage".to_string(),
+    })
 }
 
 /// Algorithm 2's **Step 1** in isolation: shrink `alive` to a
@@ -130,16 +164,44 @@ pub fn eliminate_nonredundant_in(
     order: &[NodeId],
     alive: &mut NodeSet,
 ) {
+    let token = CancelToken::unbounded();
+    // An unbounded token never cancels; the sweep always completes.
+    let _ = eliminate_nonredundant_budgeted_in(ws, g, terminals, order, alive, &token);
+}
+
+/// [`eliminate_nonredundant_in`] with cooperative cancellation: one token
+/// tick (weight `|V|`, the cost of the connectivity test) per candidate.
+/// On a budget trip the sweep stops early; `alive` is left as a *valid
+/// cover* of the terminals (each step is remove → test → undo-on-failure,
+/// so connectivity holds at every prefix) — it is merely not yet
+/// nonredundant.
+///
+/// The zero-allocation guarantee is unchanged: a tick is a
+/// [`std::cell::Cell`] decrement and the clock is consulted only every
+/// [`mcc_graph::budget::TICK_PERIOD`] work units —
+/// `tests/alloc_regression.rs` still pins the warm loop at zero heap
+/// allocations.
+pub fn eliminate_nonredundant_budgeted_in(
+    ws: &mut Workspace,
+    g: &Graph,
+    terminals: &NodeSet,
+    order: &[NodeId],
+    alive: &mut NodeSet,
+    token: &CancelToken,
+) -> Result<(), BudgetExceeded> {
+    let n = g.node_count() as u64;
     for &v in order {
         if terminals.contains(v) || !alive.contains(v) {
             continue;
         }
+        token.tick(Stage::Algorithm2, n)?;
         ws.stats.elimination_steps += 1;
         alive.remove(v);
         if !terminals_connected_in(ws, g, alive, terminals) {
             alive.insert(v);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -200,6 +262,50 @@ mod tests {
         let t = algorithm2(&g, &terminals(5, &[0, 2])).unwrap();
         assert_eq!(t.node_cost(), 3);
         assert!(!t.nodes.contains(NodeId(3)));
+    }
+
+    #[test]
+    fn budgeted_reports_disconnection_and_deadline() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let budget = SolveBudget::default();
+        let token = budget.start();
+        let mut ws = Workspace::new();
+        let order: Vec<NodeId> = g.nodes().collect();
+        let e =
+            algorithm2_budgeted_in(&mut ws, &g, &terminals(4, &[0, 2]), &order, &budget, &token)
+                .unwrap_err();
+        assert_eq!(e, SolveError::Disconnected);
+
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 4)]);
+        let budget = SolveBudget::with_deadline(std::time::Duration::ZERO);
+        let token = budget.start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let order: Vec<NodeId> = g.nodes().collect();
+        let e =
+            algorithm2_budgeted_in(&mut ws, &g, &terminals(5, &[1, 3]), &order, &budget, &token)
+                .unwrap_err();
+        assert!(e.budget().is_some());
+        // The workspace survives a trip: the legacy path still solves.
+        let t = algorithm2_with_order_in(&mut ws, &g, &terminals(5, &[1, 3]), &order).unwrap();
+        assert_eq!(t.node_cost(), 3);
+    }
+
+    #[test]
+    fn interrupted_elimination_leaves_a_valid_cover() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let p = terminals(6, &[0, 3]);
+        let mut ws = Workspace::new();
+        let mut alive = NodeSet::full(6);
+        let budget = SolveBudget::with_deadline(std::time::Duration::ZERO);
+        let token = budget.start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        // Burn the fuel so the very first candidate consults the clock.
+        let _ = token.tick(Stage::Algorithm2, mcc_graph::budget::TICK_PERIOD - 1);
+        let order: Vec<NodeId> = g.nodes().collect();
+        let r = eliminate_nonredundant_budgeted_in(&mut ws, &g, &p, &order, &mut alive, &token);
+        assert!(r.is_err());
+        // Whatever survived is still a cover: terminals stay connected.
+        assert!(mcc_graph::terminals_connected_in(&mut ws, &g, &alive, &p));
     }
 
     #[test]

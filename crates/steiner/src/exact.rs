@@ -10,9 +10,15 @@
 //!
 //! Complexity `O(3^k·n + 2^k·n²)` for `k` terminals on `n` nodes, after
 //! `n` node-weighted Dijkstra passes.
+//!
+//! The `*_budgeted` entry points are the governed versions: the DP table
+//! footprint is checked against the [`SolveBudget`] *before* anything is
+//! allocated, the Dijkstra and merge loops tick a [`CancelToken`], and a
+//! reconstruction inconsistency comes back as
+//! [`SolveError::Internal`] instead of aborting the process.
 
-use crate::{SteinerInstance, SteinerTree};
-use mcc_graph::{Graph, NodeId, NodeSet};
+use crate::{SolveError, SolveOutcome, SteinerInstance, SteinerTree};
+use mcc_graph::{CancelToken, Graph, NodeId, NodeSet, SolveBudget, Stage};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -46,29 +52,70 @@ pub fn steiner_exact(inst: &SteinerInstance) -> Option<ExactSolution> {
     steiner_exact_node_weighted(&inst.graph, &inst.terminals, &w)
 }
 
+/// [`steiner_exact`] under a [`SolveBudget`]: unit weights, cooperative
+/// cancellation, disconnection as [`SolveError::Disconnected`].
+pub fn steiner_exact_budgeted(
+    inst: &SteinerInstance,
+    budget: &SolveBudget,
+    token: &CancelToken,
+) -> SolveOutcome<ExactSolution> {
+    let w = vec![1u64; inst.graph.node_count()];
+    steiner_exact_node_weighted_budgeted(&inst.graph, &inst.terminals, &w, budget, token)
+}
+
 /// Exact minimum-weight Steiner tree under arbitrary non-negative node
 /// weights. See module docs for the recurrence; the terminal count is the
 /// exponential dimension.
 ///
 /// # Panics
 /// Panics when more than 24 terminals are supplied (the mask would not
-/// fit sensible memory anyway).
+/// fit sensible memory anyway). Use
+/// [`steiner_exact_node_weighted_budgeted`] to get a structured
+/// [`SolveError::Budget`] verdict instead.
 pub fn steiner_exact_node_weighted(
     g: &Graph,
     terminals: &NodeSet,
     weights: &[u64],
 ) -> Option<ExactSolution> {
-    let n = g.node_count();
-    assert_eq!(weights.len(), n, "one weight per node");
-    let ts: Vec<NodeId> = terminals.to_vec();
-    let k = ts.len();
+    let k = terminals.len();
     assert!(
         k <= 24,
         "Dreyfus–Wagner is exponential in |terminals|; got {k}"
     );
+    let budget = SolveBudget::unbounded();
+    let token = CancelToken::unbounded();
+    match steiner_exact_node_weighted_budgeted(g, terminals, weights, &budget, &token) {
+        Ok(sol) => Some(sol),
+        Err(SolveError::Disconnected) => None,
+        Err(e) => panic!("unbudgeted exact solve failed: {e}"),
+    }
+}
+
+/// [`steiner_exact_node_weighted`] under a [`SolveBudget`].
+///
+/// Admission happens first: instance size against the budget's node/edge
+/// caps and the *projected* DP footprint ([`mcc_graph::budget::dp_table_bytes`])
+/// against `max_dp_bytes`/`max_exact_terminals` — so an oversized request
+/// is rejected in microseconds, before any table is allocated. The
+/// Dijkstra passes, the subset-merge loop, and the reconstruction all
+/// tick `token`, so a wall-clock deadline interrupts mid-DP.
+pub fn steiner_exact_node_weighted_budgeted(
+    g: &Graph,
+    terminals: &NodeSet,
+    weights: &[u64],
+    budget: &SolveBudget,
+    token: &CancelToken,
+) -> SolveOutcome<ExactSolution> {
+    let n = g.node_count();
+    assert_eq!(weights.len(), n, "one weight per node");
+    let ts: Vec<NodeId> = terminals.to_vec();
+    let k = ts.len();
+    budget.admit_graph(Stage::ExactDp, n, g.edge_count())?;
+    budget.admit_exact_dp(k, n)?;
+    token.checkpoint(Stage::ExactDp)?;
 
     if k == 0 {
-        return Some(ExactSolution {
+        return Ok(ExactSolution {
             tree: SteinerTree {
                 nodes: NodeSet::new(n),
                 edges: vec![],
@@ -78,7 +125,7 @@ pub fn steiner_exact_node_weighted(
     }
     if k == 1 {
         let t = ts[0];
-        return Some(ExactSolution {
+        return Ok(ExactSolution {
             tree: SteinerTree {
                 nodes: NodeSet::from_nodes(n, [t]),
                 edges: vec![],
@@ -93,7 +140,15 @@ pub fn steiner_exact_node_weighted(
     let mut parent = vec![vec![usize::MAX; n]; n];
     let mut heap: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
     for u in 0..n {
-        dijkstra_from(g, weights, u, &mut dist[u], &mut parent[u], &mut heap);
+        dijkstra_from(
+            g,
+            weights,
+            u,
+            &mut dist[u],
+            &mut parent[u],
+            &mut heap,
+            token,
+        )?;
     }
 
     // dp[mask][v] = min weight of a tree containing {t_i : i ∈ mask} ∪ {v}.
@@ -123,6 +178,7 @@ pub fn steiner_exact_node_weighted(
             let rest = mask ^ sub;
             if sub < rest {
                 // each unordered split once
+                token.tick(Stage::ExactDp, n as u64)?;
                 for v in 0..n {
                     let (a, b) = (dp[sub][v], dp[rest][v]);
                     if a < INF && b < INF {
@@ -137,6 +193,7 @@ pub fn steiner_exact_node_weighted(
         }
         let row = &mut dp[mask];
         for v in 0..n {
+            token.tick(Stage::ExactDp, n as u64)?;
             let mut best = tmp[v];
             for u in 0..n {
                 if tmp[u] < INF && dist[u][v] < INF {
@@ -152,7 +209,7 @@ pub fn steiner_exact_node_weighted(
     let rest_mask = full & !1;
     let cost = dp[rest_mask][t0.index()];
     if cost >= INF {
-        return None;
+        return Err(SolveError::Disconnected);
     }
 
     // Reconstruct by replaying the argmins.
@@ -168,14 +225,18 @@ pub fn steiner_exact_node_weighted(
         rest_mask,
         t0.index(),
         &mut nodes,
-    );
-    let tree = SteinerTree::from_cover(g, &nodes).expect("reconstructed cover is connected");
+        token,
+    )?;
+    let tree = SteinerTree::from_cover(g, &nodes).ok_or_else(|| SolveError::Internal {
+        stage: Stage::ExactDp,
+        detail: "reconstructed cover is not connected".to_string(),
+    })?;
     debug_assert_eq!(
         nodes.iter().map(|v| weights[v.index()]).sum::<u64>(),
         cost,
         "reconstruction must realize the DP cost"
     );
-    Some(ExactSolution { tree, cost })
+    Ok(ExactSolution { tree, cost })
 }
 
 fn dijkstra_from(
@@ -185,7 +246,8 @@ fn dijkstra_from(
     dist: &mut [u64],
     parent: &mut [usize],
     heap: &mut BinaryHeap<Reverse<(u64, usize)>>,
-) {
+    token: &CancelToken,
+) -> SolveOutcome<()> {
     dist[src] = 0;
     heap.clear();
     heap.push(Reverse((0, src)));
@@ -193,7 +255,9 @@ fn dijkstra_from(
         if d > dist[v] {
             continue;
         }
-        for &u in g.neighbors(NodeId::from_index(v)) {
+        let nbrs = g.neighbors(NodeId::from_index(v));
+        token.tick(Stage::ExactDp, 1 + nbrs.len() as u64)?;
+        for &u in nbrs {
             let nd = d + w[u.index()];
             if nd < dist[u.index()] {
                 dist[u.index()] = nd;
@@ -202,6 +266,7 @@ fn dijkstra_from(
             }
         }
     }
+    Ok(())
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -215,7 +280,8 @@ fn reconstruct(
     mask: usize,
     v: usize,
     nodes: &mut NodeSet,
-) {
+    token: &CancelToken,
+) -> SolveOutcome<()> {
     let target = dp[mask][v];
     debug_assert!(target < INF);
     if mask.count_ones() == 1 {
@@ -223,11 +289,12 @@ fn reconstruct(
         let t = ts[i].index();
         add_path(parent, t, v, nodes);
         nodes.insert(ts[i]);
-        return;
+        return Ok(());
     }
     // Find u and a split (sub, rest) with dp[sub][u] + dp[rest][u] - w(u)
     // + dist[u][v] == dp[mask][v].
     for u in 0..g.node_count() {
+        token.tick(Stage::ExactDp, 1)?;
         if dist[u][v] >= INF {
             continue;
         }
@@ -245,14 +312,19 @@ fn reconstruct(
             {
                 add_path(parent, u, v, nodes);
                 nodes.insert(NodeId::from_index(u));
-                reconstruct(g, w, ts, dist, parent, dp, sub, u, nodes);
-                reconstruct(g, w, ts, dist, parent, dp, rest, u, nodes);
-                return;
+                reconstruct(g, w, ts, dist, parent, dp, sub, u, nodes, token)?;
+                reconstruct(g, w, ts, dist, parent, dp, rest, u, nodes, token)?;
+                return Ok(());
             }
             sub = (sub - 1) & mask;
         }
     }
-    unreachable!("DP value {target} for mask {mask:b} at node {v} has no witness");
+    // A DP value with no witness is a solver bug; surface it as data so
+    // one bad query degrades instead of aborting the process.
+    Err(SolveError::Internal {
+        stage: Stage::ExactDp,
+        detail: format!("DP value {target} for mask {mask:b} at node {v} has no witness"),
+    })
 }
 
 /// Adds the nodes of the stored shortest path from `src` to `v`
@@ -271,6 +343,8 @@ mod tests {
     use super::*;
     use crate::cover::{minimum_cover_bruteforce, side_minimum_cover_bruteforce};
     use mcc_graph::builder::graph_from_edges;
+    use mcc_graph::BudgetKind;
+    use std::time::Duration;
 
     fn solve_unit(g: &Graph, ts: &[u32]) -> Option<ExactSolution> {
         let terminals = NodeSet::from_nodes(g.node_count(), ts.iter().map(|&t| NodeId(t)));
@@ -310,6 +384,60 @@ mod tests {
     fn infeasible_returns_none() {
         let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
         assert!(solve_unit(&g, &[0, 3]).is_none());
+    }
+
+    #[test]
+    fn budgeted_reports_disconnection_as_error() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let terminals = NodeSet::from_nodes(4, [NodeId(0), NodeId(3)]);
+        let budget = SolveBudget::default();
+        let token = budget.start();
+        let e = steiner_exact_budgeted(&SteinerInstance::new(g, terminals), &budget, &token)
+            .unwrap_err();
+        assert_eq!(e, SolveError::Disconnected);
+    }
+
+    #[test]
+    fn dp_byte_budget_rejects_before_allocating() {
+        // 24 terminals on a modest graph would need ~2^24 DP rows; a
+        // small byte budget must refuse instantly (admission, not OOM).
+        let g = graph_from_edges(30, &(0..29).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let terminals = NodeSet::from_nodes(30, (0..24).map(NodeId));
+        let budget = SolveBudget {
+            max_dp_bytes: 1 << 20,
+            ..SolveBudget::default()
+        };
+        let token = budget.start();
+        let w = vec![1u64; 30];
+        let e =
+            steiner_exact_node_weighted_budgeted(&g, &terminals, &w, &budget, &token).unwrap_err();
+        assert_eq!(e.budget().unwrap().kind, BudgetKind::DpTableBytes);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_the_dp() {
+        let g = graph_from_edges(64, &(0..63).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let terminals = NodeSet::from_nodes(64, (0..12).map(|i| NodeId(i * 5)));
+        let budget = SolveBudget::with_deadline(Duration::ZERO);
+        let token = budget.start();
+        std::thread::sleep(Duration::from_millis(2));
+        let w = vec![1u64; 64];
+        let e =
+            steiner_exact_node_weighted_budgeted(&g, &terminals, &w, &budget, &token).unwrap_err();
+        assert_eq!(e.budget().unwrap().kind, BudgetKind::WallClockMs);
+    }
+
+    #[test]
+    fn budgeted_matches_legacy_on_feasible_instances() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let terminals = NodeSet::from_nodes(5, [NodeId(0), NodeId(2)]);
+        let budget = SolveBudget::default();
+        let token = budget.start();
+        let s =
+            steiner_exact_budgeted(&SteinerInstance::new(g.clone(), terminals), &budget, &token)
+                .unwrap();
+        assert_eq!(s.cost, 3);
+        assert!(s.tree.is_valid_tree(&g));
     }
 
     #[test]

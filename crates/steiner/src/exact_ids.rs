@@ -16,18 +16,45 @@
 //! property tests, and the NP-hardness experiment can report both
 //! exponential baselines. Its sweet spot is few *extra* nodes (small
 //! `k − |P̄|`) rather than few terminals.
+//!
+//! [`steiner_exact_ids_budgeted`] is the governed entry point: each DFS
+//! node ticks the [`CancelToken`], so an adversarial instance stops at
+//! the deadline instead of enumerating forever.
 
-use crate::{ExactSolution, SteinerTree};
-use mcc_graph::{bfs_distances, Graph, NodeId, NodeSet, INFINITE_DISTANCE};
+use crate::{ExactSolution, SolveError, SolveOutcome, SteinerTree};
+use mcc_graph::{
+    bfs_distances, CancelToken, Graph, NodeId, NodeSet, SolveBudget, Stage, INFINITE_DISTANCE,
+};
 
 /// Exact minimum-node Steiner tree by iterative deepening. Returns
 /// `None` when the terminals are disconnected. Equivalent to
 /// [`crate::steiner_exact`] (unit weights), by a different algorithm.
 pub fn steiner_exact_ids(g: &Graph, terminals: &NodeSet) -> Option<ExactSolution> {
+    let budget = SolveBudget::unbounded();
+    let token = CancelToken::unbounded();
+    match steiner_exact_ids_budgeted(g, terminals, &budget, &token) {
+        Ok(sol) => Some(sol),
+        Err(SolveError::Disconnected) => None,
+        Err(e) => panic!("unbudgeted iterative-deepening solve failed: {e}"),
+    }
+}
+
+/// [`steiner_exact_ids`] under a [`SolveBudget`]: instance-size admission
+/// up front, a token tick per search node, disconnection as
+/// [`SolveError::Disconnected`], and the "spanning set always succeeds"
+/// invariant surfaced as [`SolveError::Internal`] instead of a panic.
+pub fn steiner_exact_ids_budgeted(
+    g: &Graph,
+    terminals: &NodeSet,
+    budget: &SolveBudget,
+    token: &CancelToken,
+) -> SolveOutcome<ExactSolution> {
     let n = g.node_count();
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
+    budget.admit_graph(Stage::ExactIds, n, g.edge_count())?;
+    token.checkpoint(Stage::ExactIds)?;
     if terminals.is_empty() {
-        return Some(ExactSolution {
+        return Ok(ExactSolution {
             tree: SteinerTree {
                 nodes: NodeSet::new(n),
                 edges: vec![],
@@ -45,7 +72,7 @@ pub fn steiner_exact_ids(g: &Graph, terminals: &NodeSet) -> Option<ExactSolution
     for t in terminals.iter() {
         let d = dist_root[t.index()];
         if d == INFINITE_DISTANCE {
-            return None;
+            return Err(SolveError::Disconnected);
         }
         lb = lb.max(d as usize + 1);
     }
@@ -57,6 +84,7 @@ pub fn steiner_exact_ids(g: &Graph, terminals: &NodeSet) -> Option<ExactSolution
         let mut state = SearchState {
             g,
             term_dist: &term_dist,
+            token,
             budget: k,
             chosen: NodeSet::from_nodes(n, [root]),
             missing: {
@@ -66,15 +94,23 @@ pub fn steiner_exact_ids(g: &Graph, terminals: &NodeSet) -> Option<ExactSolution
             },
         };
         let mut forbidden = NodeSet::new(n);
-        if let Some(nodes) = state.dfs(&mut forbidden) {
-            let tree = SteinerTree::from_cover(g, &nodes).expect("grown set is connected");
-            return Some(ExactSolution {
+        if let Some(nodes) = state.dfs(&mut forbidden)? {
+            let tree = SteinerTree::from_cover(g, &nodes).ok_or_else(|| SolveError::Internal {
+                stage: Stage::ExactIds,
+                detail: "grown node set is not connected".to_string(),
+            })?;
+            return Ok(ExactSolution {
                 cost: tree.node_cost() as u64,
                 tree,
             });
         }
     }
-    unreachable!("a spanning set of the component always succeeds by k = n")
+    // The spanning set of the component succeeds by k = n; reaching here
+    // means the prunes are unsound — degrade one query, don't abort.
+    Err(SolveError::Internal {
+        stage: Stage::ExactIds,
+        detail: format!("iterative deepening exhausted k = {n} without a spanning witness"),
+    })
 }
 
 /// BFS distances to the nearest member of `sources`.
@@ -99,6 +135,7 @@ fn multi_source_distances(g: &Graph, sources: &NodeSet) -> Vec<u32> {
 struct SearchState<'a> {
     g: &'a Graph,
     term_dist: &'a [u32],
+    token: &'a CancelToken,
     budget: usize,
     chosen: NodeSet,
     missing: NodeSet,
@@ -108,12 +145,15 @@ impl SearchState<'_> {
     /// Depth-first growth. `forbidden` nodes were declined earlier on
     /// this branch. Returns a connected superset of the terminals with
     /// at most `budget` nodes, or `None`.
-    fn dfs(&mut self, forbidden: &mut NodeSet) -> Option<NodeSet> {
+    fn dfs(&mut self, forbidden: &mut NodeSet) -> SolveOutcome<Option<NodeSet>> {
+        // Each search node costs a restricted BFS: charge |V| units.
+        self.token
+            .tick(Stage::ExactIds, self.g.node_count() as u64)?;
         if self.missing.is_empty() {
-            return Some(self.chosen.clone());
+            return Ok(Some(self.chosen.clone()));
         }
         if self.chosen.len() >= self.budget {
-            return None;
+            return Ok(None);
         }
         let slack = self.budget - self.chosen.len();
         // Reachability prune: every missing terminal must be within
@@ -127,7 +167,7 @@ impl SearchState<'_> {
         for t in self.missing.iter() {
             let d = dist[t.index()];
             if d == INFINITE_DISTANCE || d as usize > slack {
-                return None;
+                return Ok(None);
             }
         }
 
@@ -152,20 +192,27 @@ impl SearchState<'_> {
             // Include u.
             self.chosen.insert(u);
             let was_missing = self.missing.remove(u);
-            if let Some(hit) = self.dfs(forbidden) {
-                // Restore before returning (callers own the state).
-                self.chosen.remove(u);
-                if was_missing {
-                    self.missing.insert(u);
-                }
-                for &w in &locally_forbidden {
-                    forbidden.remove(w);
-                }
-                return Some(hit);
-            }
+            let hit = self.dfs(forbidden);
+            // Restore before returning in every case (callers own the
+            // state; a budget trip must not leave it half-mutated).
             self.chosen.remove(u);
             if was_missing {
                 self.missing.insert(u);
+            }
+            match hit {
+                Ok(Some(hit)) => {
+                    for &w in &locally_forbidden {
+                        forbidden.remove(w);
+                    }
+                    return Ok(Some(hit));
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    for &w in &locally_forbidden {
+                        forbidden.remove(w);
+                    }
+                    return Err(e);
+                }
             }
             // Exclude u for the rest of this branch (don't-look).
             forbidden.insert(u);
@@ -174,7 +221,7 @@ impl SearchState<'_> {
         for &w in &locally_forbidden {
             forbidden.remove(w);
         }
-        None
+        Ok(None)
     }
 }
 
@@ -202,6 +249,8 @@ mod tests {
     use super::*;
     use crate::{steiner_exact, SteinerInstance};
     use mcc_graph::builder::graph_from_edges;
+    use mcc_graph::BudgetKind;
+    use std::time::Duration;
 
     fn terminals(n: usize, ts: &[u32]) -> NodeSet {
         NodeSet::from_nodes(n, ts.iter().map(|&t| NodeId(t)))
@@ -256,6 +305,30 @@ mod tests {
     fn disconnected_is_none() {
         let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
         assert!(steiner_exact_ids(&g, &terminals(4, &[0, 3])).is_none());
+    }
+
+    #[test]
+    fn budgeted_cancels_on_expired_deadline() {
+        let g = graph_from_edges(40, &(0..39).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let p = terminals(40, &[0, 13, 26, 39]);
+        let budget = SolveBudget::with_deadline(Duration::ZERO);
+        let token = budget.start();
+        std::thread::sleep(Duration::from_millis(2));
+        let e = steiner_exact_ids_budgeted(&g, &p, &budget, &token).unwrap_err();
+        assert_eq!(e.budget().unwrap().kind, BudgetKind::WallClockMs);
+    }
+
+    #[test]
+    fn budgeted_admission_rejects_oversized_instances() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let p = terminals(6, &[0, 5]);
+        let budget = SolveBudget {
+            max_nodes: 4,
+            ..SolveBudget::default()
+        };
+        let token = budget.start();
+        let e = steiner_exact_ids_budgeted(&g, &p, &budget, &token).unwrap_err();
+        assert_eq!(e.budget().unwrap().kind, BudgetKind::Nodes);
     }
 
     #[test]

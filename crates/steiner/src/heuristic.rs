@@ -1,5 +1,7 @@
 //! A Kou–Markowsky–Berman-style Steiner heuristic (2-approximation on
-//! edge counts), used as the off-class baseline in the experiments.
+//! edge counts), used as the off-class baseline in the experiments and as
+//! the last rung of the solver's degradation ladder (cheap enough to run
+//! inside whatever deadline remains after an exact attempt trips).
 //!
 //! 1. build the metric closure of the terminals (BFS distances);
 //! 2. take a minimum spanning tree of the closure (Prim);
@@ -8,24 +10,56 @@
 //!    yielding a nonredundant cover;
 //! 5. return a spanning tree.
 
-use crate::{algorithm2_with_order, SteinerTree};
-use mcc_graph::{bfs_distances, shortest_path, Graph, NodeId, NodeSet, INFINITE_DISTANCE};
+use crate::{algorithm2_budgeted_in, SolveError, SolveOutcome, SteinerTree};
+use mcc_graph::{
+    bfs_distances, shortest_path, CancelToken, Graph, NodeId, NodeSet, SolveBudget, Stage,
+    Workspace, INFINITE_DISTANCE,
+};
 
 /// Runs the KMB-style heuristic. Returns `None` when the terminals are
 /// not connected.
 pub fn steiner_kmb(g: &Graph, terminals: &NodeSet) -> Option<SteinerTree> {
+    let budget = SolveBudget::unbounded();
+    let token = CancelToken::unbounded();
+    match steiner_kmb_budgeted(g, terminals, &budget, &token) {
+        Ok(tree) => Some(tree),
+        Err(SolveError::Disconnected) => None,
+        Err(e) => panic!("unbudgeted KMB heuristic failed: {e}"),
+    }
+}
+
+/// [`steiner_kmb`] under a [`SolveBudget`]: instance-size admission up
+/// front, a token tick per BFS row / Prim round / pruning candidate, and
+/// disconnection as [`SolveError::Disconnected`]. This is the fallback
+/// rung of the degradation ladder, so it shares the ladder's one
+/// [`CancelToken`] — a deadline spans the exact attempt *and* this
+/// fallback.
+pub fn steiner_kmb_budgeted(
+    g: &Graph,
+    terminals: &NodeSet,
+    budget: &SolveBudget,
+    token: &CancelToken,
+) -> SolveOutcome<SteinerTree> {
     let n = g.node_count();
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
+    budget.admit_graph(Stage::Heuristic, n, g.edge_count())?;
+    token.checkpoint(Stage::Heuristic)?;
     let ts: Vec<NodeId> = terminals.to_vec();
     if ts.is_empty() {
-        return Some(SteinerTree {
+        return Ok(SteinerTree {
             nodes: NodeSet::new(n),
             edges: vec![],
         });
     }
     let full = NodeSet::full(n);
-    // Metric closure rows for terminals only.
-    let dist: Vec<Vec<u32>> = ts.iter().map(|&t| bfs_distances(g, &full, t)).collect();
+    // Metric closure rows for terminals only. One BFS visits every node
+    // and edge once: charge |V| + 2|A| units per row.
+    let row_cost = (n + 2 * g.edge_count()) as u64;
+    let mut dist: Vec<Vec<u32>> = Vec::with_capacity(ts.len());
+    for &t in &ts {
+        token.tick(Stage::Heuristic, row_cost)?;
+        dist.push(bfs_distances(g, &full, t));
+    }
     // Prim over the closure.
     let k = ts.len();
     let mut in_tree = vec![false; k];
@@ -38,17 +72,26 @@ pub fn steiner_kmb(g: &Graph, terminals: &NodeSet) -> Option<SteinerTree> {
     let mut union = NodeSet::new(n);
     union.insert(ts[0]);
     for _ in 1..k {
-        let (i, _) = best
+        token.tick(Stage::Heuristic, (k + n) as u64)?;
+        let Some((i, _)) = best
             .iter()
             .enumerate()
             .filter(|(i, _)| !in_tree[*i])
-            .min_by_key(|(_, &d)| d)?;
+            .min_by_key(|(_, &d)| d)
+        else {
+            return Err(SolveError::Disconnected);
+        };
         if best[i] == INFINITE_DISTANCE {
-            return None; // disconnected terminals
+            return Err(SolveError::Disconnected);
         }
         in_tree[i] = true;
         // Expand the chosen closure edge into a concrete shortest path.
-        let path = shortest_path(g, &full, ts[best_from[i]], ts[i]).expect("finite distance");
+        let path = shortest_path(g, &full, ts[best_from[i]], ts[i]).ok_or_else(|| {
+            SolveError::Internal {
+                stage: Stage::Heuristic,
+                detail: "finite closure distance but no realizing path".to_string(),
+            }
+        })?;
         for v in path {
             union.insert(v);
         }
@@ -63,18 +106,26 @@ pub fn steiner_kmb(g: &Graph, terminals: &NodeSet) -> Option<SteinerTree> {
     // union keeps this cheap), then span.
     let order: Vec<NodeId> = union.to_vec();
     let sub = restrict_graph(g, &union);
-    let t_local = algorithm2_with_order(
+    let local_terminals = NodeSet::from_nodes(
+        sub.graph.node_count(),
+        ts.iter()
+            .map(|&t| sub.from_parent[t.index()].expect("terminal in union")),
+    );
+    let local_order: Vec<NodeId> = (0..order.len()).map(NodeId::from_index).collect();
+    let t_local = algorithm2_budgeted_in(
+        &mut Workspace::new(),
         &sub.graph,
-        &NodeSet::from_nodes(
-            sub.graph.node_count(),
-            ts.iter()
-                .map(|&t| sub.from_parent[t.index()].expect("terminal in union")),
-        ),
-        &(0..order.len()).map(NodeId::from_index).collect::<Vec<_>>(),
+        &local_terminals,
+        &local_order,
+        budget,
+        token,
     )?;
     // Lift back to parent ids.
     let nodes = NodeSet::from_nodes(n, t_local.nodes.iter().map(|v| sub.to_parent[v.index()]));
-    SteinerTree::from_cover(g, &nodes)
+    SteinerTree::from_cover(g, &nodes).ok_or_else(|| SolveError::Internal {
+        stage: Stage::Heuristic,
+        detail: "pruned union lost terminal connectivity".to_string(),
+    })
 }
 
 fn restrict_graph(g: &Graph, keep: &NodeSet) -> mcc_graph::InducedSubgraph {
@@ -87,6 +138,8 @@ mod tests {
     use crate::exact::steiner_exact;
     use crate::SteinerInstance;
     use mcc_graph::builder::graph_from_edges;
+    use mcc_graph::BudgetKind;
+    use std::time::Duration;
 
     fn terminals(n: usize, ts: &[u32]) -> NodeSet {
         NodeSet::from_nodes(n, ts.iter().map(|&t| NodeId(t)))
@@ -140,6 +193,25 @@ mod tests {
     fn disconnected_terminals_none() {
         let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
         assert!(steiner_kmb(&g, &terminals(4, &[0, 3])).is_none());
+    }
+
+    #[test]
+    fn budgeted_solves_within_a_generous_deadline() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let budget = SolveBudget::with_deadline(Duration::from_secs(30));
+        let token = budget.start();
+        let t = steiner_kmb_budgeted(&g, &terminals(5, &[0, 2]), &budget, &token).unwrap();
+        assert_eq!(t.node_cost(), 3);
+    }
+
+    #[test]
+    fn budgeted_trips_on_expired_deadline() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        let budget = SolveBudget::with_deadline(Duration::ZERO);
+        let token = budget.start();
+        std::thread::sleep(Duration::from_millis(2));
+        let e = steiner_kmb_budgeted(&g, &terminals(5, &[0, 2]), &budget, &token).unwrap_err();
+        assert_eq!(e.budget().unwrap().kind, BudgetKind::WallClockMs);
     }
 
     #[test]

@@ -25,6 +25,9 @@
 //!   elimination (Lemmas 4/5 make every nonredundant cover minimum);
 //! * [`heuristic`] — a KMB-style shortest-path/MST 2-approximation used
 //!   as the off-class baseline;
+//! * [`outcome`] — the unified [`SolveError`]/[`SolveOutcome`] taxonomy
+//!   and the [`Degraded`] downgrade record shared by every budgeted
+//!   (`*_budgeted`) entry point;
 //! * [`ordering`] — good orderings (Definition 11), the machinery behind
 //!   Corollary 5 and the Theorem 6 counterexample;
 //! * [`pseudo`] — side-aware wrappers (Corollary 4's swapped-side route).
@@ -41,20 +44,28 @@ pub mod exact_ids;
 pub mod heuristic;
 pub mod instance;
 pub mod ordering;
+pub mod outcome;
 pub mod pseudo;
 
-pub use algorithm1::{algorithm1, algorithm1_in, verify_lemma1_ordering, Algorithm1Error};
+pub use algorithm1::{
+    algorithm1, algorithm1_budgeted_in, algorithm1_in, verify_lemma1_ordering, Algorithm1Error,
+};
 pub use algorithm2::{
-    algorithm2, algorithm2_with_order, algorithm2_with_order_in, eliminate_nonredundant_in,
+    algorithm2, algorithm2_budgeted_in, algorithm2_with_order, algorithm2_with_order_in,
+    eliminate_nonredundant_budgeted_in, eliminate_nonredundant_in,
 };
 pub use certify::{is_steiner_tree_for, tree_side_cost};
 pub use cover::{
     is_minimum_path, is_nonredundant_cover, is_nonredundant_path, minimum_cover_bruteforce,
     side_minimum_cover_bruteforce,
 };
-pub use exact::{steiner_exact, steiner_exact_node_weighted, ExactSolution};
-pub use exact_ids::steiner_exact_ids;
-pub use heuristic::steiner_kmb;
+pub use exact::{
+    steiner_exact, steiner_exact_budgeted, steiner_exact_node_weighted,
+    steiner_exact_node_weighted_budgeted, ExactSolution,
+};
+pub use exact_ids::{steiner_exact_ids, steiner_exact_ids_budgeted};
+pub use heuristic::{steiner_kmb, steiner_kmb_budgeted};
 pub use instance::{SteinerInstance, SteinerTree};
 pub use ordering::{eliminate_with_ordering, is_good_ordering_for, ordering_landscape};
+pub use outcome::{Degraded, SolveError, SolveOutcome};
 pub use pseudo::{pseudo_steiner, PseudoSide};

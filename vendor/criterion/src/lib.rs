@@ -89,6 +89,20 @@ impl BenchmarkId {
     }
 }
 
+impl From<&str> for BenchmarkId {
+    /// Upstream's group `bench_function` accepts a bare `&str` id; the
+    /// stand-in matches via this conversion.
+    fn from(label: &str) -> Self {
+        BenchmarkId::from_label(label.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId::from_label(label)
+    }
+}
+
 /// Units-of-work declaration used to derive a throughput line.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
@@ -121,11 +135,17 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark `f` against a borrowed input.
-    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
     where
         I: ?Sized,
         F: FnMut(&mut Bencher, &I),
     {
+        let id = id.into();
         let label = if self.name.is_empty() {
             id.label.clone()
         } else {
@@ -142,7 +162,7 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Benchmark `f` with no input.
-    pub fn bench_function<F>(&mut self, id: BenchmarkId, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
