@@ -1,0 +1,106 @@
+//! E12 — serving throughput: `mcc-engine` worker pool (1/2/4/8 workers,
+//! cold vs. warm artifact cache) against the single-threaded
+//! `QueryEngine` baseline, all on one α-acyclic workload.
+//!
+//! What the comparison isolates: the baseline re-derives the Lemma 1
+//! ordering (drop isolated `V2` nodes, build `H¹`, Tarjan–Yannakakis
+//! join tree, reverse) inside **every** Algorithm 1 call, while the
+//! engine's warm path reads the ordering from the shared
+//! [`mcc::SchemaArtifacts`] bundle and pays only for the Step 2
+//! elimination sweep (plus queue/channel overhead). The cold variants
+//! additionally pay the pool spawn and artifact build every batch, which
+//! bounds the break-even batch size.
+//!
+//! The workload routes both stacks to Algorithm 1 (same answers): the
+//! baseline's auto-dispatch picks it because the schema is α-acyclic,
+//! and the engine is asked for the matching `Pseudo(V2)` queries.
+//! EXPERIMENTS.md §E12 records the numbers and pins the acceptance
+//! claim (8-worker warm batch ≥ 3× baseline throughput).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc::datamodel::{QueryEngine, RelationalSchema};
+use mcc::prelude::classify_bipartite;
+use mcc_bench::serving_workload;
+use mcc_engine::{Engine, EngineConfig, QueryRequest, SchemaId, Side};
+use std::hint::black_box;
+
+const EDGES: usize = 96;
+const BATCH: usize = 64;
+const SEED: u64 = 7;
+
+fn run_batch(engine: &Engine, id: SchemaId, batch: &[Vec<String>]) {
+    let tickets: Vec<_> = batch
+        .iter()
+        .map(|q| {
+            let names: Vec<&str> = q.iter().map(String::as_str).collect();
+            engine
+                .submit(QueryRequest::pseudo(id, &names, Side::V2))
+                .expect("queue sized for the batch")
+        })
+        .collect();
+    for t in tickets {
+        black_box(t.wait().expect("on-class solve"));
+    }
+}
+
+fn checked_workload() -> (RelationalSchema, Vec<Vec<String>>) {
+    let (schema, batch) = serving_workload(EDGES, BATCH, SEED);
+    // The comparison is only meaningful when both stacks run
+    // Algorithm 1: α-acyclic (baseline auto-routes to Algorithm 1) but
+    // not (6,2) (which would route the baseline to Algorithm 2).
+    let cls = classify_bipartite(&schema.to_bipartite().expect("valid schema"));
+    assert!(cls.h1_alpha_acyclic() && !cls.six_two, "re-pick the seed");
+    (schema, batch)
+}
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12_engine_throughput");
+    group.sample_size(15);
+    let (schema, batch) = checked_workload();
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    group.bench_function("queryengine_baseline", |b| {
+        let qe = QueryEngine::new(schema.clone()).expect("valid schema");
+        b.iter(|| {
+            for q in &batch {
+                let names: Vec<&str> = q.iter().map(String::as_str).collect();
+                black_box(qe.connect(&names).expect("on-class solve"));
+            }
+        })
+    });
+
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("engine_warm", workers),
+            &workers,
+            |b, &w| {
+                let engine = Engine::new(EngineConfig {
+                    workers: w,
+                    queue_capacity: BATCH,
+                    solver: Default::default(),
+                });
+                let id = engine.register(schema.clone()).expect("register");
+                b.iter(|| run_batch(&engine, id, &batch))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("engine_cold", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let engine = Engine::new(EngineConfig {
+                        workers: w,
+                        queue_capacity: BATCH,
+                        solver: Default::default(),
+                    });
+                    let id = engine.register(schema.clone()).expect("register");
+                    run_batch(&engine, id, &batch)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput);
+criterion_main!(benches);

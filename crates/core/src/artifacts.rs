@@ -1,0 +1,178 @@
+//! Schema-level artifacts: everything the solver needs that is a pure
+//! function of the schema, bundled immutably so it can be computed once
+//! and shared (`Arc`) across every query, worker thread, and session.
+//!
+//! The paper's whole premise is that the hard work is *per schema*, not
+//! per query: classification (Theorem 1's recognizers), the Lemma 1
+//! ordering behind Algorithm 1 (an `H¹` join tree), and the elimination
+//! scan order of Algorithm 2 (any order is good on (6,2)-chordal graphs,
+//! Corollary 5) all depend only on the graph. [`SchemaArtifacts`] is that
+//! bundle; [`crate::Solver::from_artifacts`] and the `mcc-engine`
+//! serving layer consume it so the per-query path runs just the
+//! elimination loops (or the exact DP) and nothing else.
+
+use mcc_chordality::{classify_bipartite_in, mcs_order_in, BipartiteClassification};
+use mcc_graph::{BipartiteGraph, NodeId, Side, Workspace};
+use mcc_hypergraph::JoinTree;
+use mcc_steiner::{lemma1_ordering, Lemma1Ordering};
+
+/// The immutable, shareable bundle of per-schema solver artifacts:
+///
+/// * the CSR bipartite substrate itself;
+/// * its [`BipartiteClassification`] (all of Theorem 1's recognizers);
+/// * a maximum-cardinality-search elimination order for Algorithm 2
+///   (on (6,2)-chordal graphs every order is good — Corollary 5 — so the
+///   MCS order is cached once instead of being rebuilt per solve);
+/// * the Lemma 1 ordering (and its `H¹` join-tree witness) for
+///   Algorithm 1 on each side where the graph is Vᵢ-chordal ∧
+///   Vᵢ-conformal, plus the side-swapped graph the `V1` route runs on.
+///
+/// Cloning is cheap only through `Arc<SchemaArtifacts>` — the bundle
+/// itself owns the graph. All accessors are `&self`; the type is `Send +
+/// Sync`, so one bundle can back any number of concurrent solvers.
+#[derive(Debug, Clone)]
+pub struct SchemaArtifacts {
+    bipartite: BipartiteGraph,
+    classification: BipartiteClassification,
+    elimination_order: Vec<NodeId>,
+    lemma1_v2: Option<Lemma1Ordering>,
+    /// The side-swapped graph, present exactly when the `V1` pseudo
+    /// route is polynomial (Algorithm 1 always eliminates `V2` nodes, so
+    /// the `V1` route runs on this reoriented copy).
+    swapped: Option<BipartiteGraph>,
+    lemma1_v1: Option<Lemma1Ordering>,
+}
+
+impl SchemaArtifacts {
+    /// Classifies `bg` and derives every ordering, through a transient
+    /// workspace.
+    pub fn build(bg: BipartiteGraph) -> Self {
+        let mut ws = Workspace::with_capacity(bg.graph().node_count());
+        Self::build_in(&mut ws, bg)
+    }
+
+    /// [`SchemaArtifacts::build`] through a caller-owned workspace, so a
+    /// long-lived registrar (the engine's artifact cache) reuses one set
+    /// of recognizer scratch buffers across schemas.
+    pub fn build_in(ws: &mut Workspace, bg: BipartiteGraph) -> Self {
+        let classification = classify_bipartite_in(ws, &bg);
+        let mut elimination_order = Vec::new();
+        mcs_order_in(ws, bg.graph(), &mut elimination_order);
+        let lemma1_v2 = if classification.pseudo_steiner_v2_polynomial() {
+            lemma1_ordering(&bg)
+        } else {
+            None
+        };
+        let (swapped, lemma1_v1) = if classification.pseudo_steiner_v1_polynomial() {
+            let sw = bg.swap_sides();
+            match lemma1_ordering(&sw) {
+                Some(l1) => (Some(sw), Some(l1)),
+                None => (None, None),
+            }
+        } else {
+            (None, None)
+        };
+        SchemaArtifacts {
+            bipartite: bg,
+            classification,
+            elimination_order,
+            lemma1_v2,
+            swapped,
+            lemma1_v1,
+        }
+    }
+
+    /// The bipartite substrate the artifacts describe.
+    pub fn bipartite(&self) -> &BipartiteGraph {
+        &self.bipartite
+    }
+
+    /// The classification computed at build time.
+    pub fn classification(&self) -> &BipartiteClassification {
+        &self.classification
+    }
+
+    /// The cached Algorithm 2 scan order (an MCS order over all nodes).
+    pub fn elimination_order(&self) -> &[NodeId] {
+        &self.elimination_order
+    }
+
+    /// The Lemma 1 ordering for the pseudo-Steiner route minimizing
+    /// `side` nodes, when that route is polynomial.
+    pub fn lemma1(&self, side: Side) -> Option<&Lemma1Ordering> {
+        match side {
+            Side::V2 => self.lemma1_v2.as_ref(),
+            Side::V1 => self.lemma1_v1.as_ref(),
+        }
+    }
+
+    /// The `H¹` join tree witnessing α-acyclicity (the Lemma 1
+    /// certificate for the `V2` route), when the schema has one.
+    pub fn join_tree(&self) -> Option<&JoinTree> {
+        self.lemma1_v2.as_ref().map(|l1| &l1.join_tree)
+    }
+
+    /// The graph and ordering Algorithm 1 should run on to minimize
+    /// `side` nodes: the substrate itself for `V2`, the cached
+    /// side-swapped copy for `V1`. `None` when the route is not
+    /// polynomial for this schema.
+    pub fn algorithm1_route(&self, side: Side) -> Option<(&BipartiteGraph, &Lemma1Ordering)> {
+        match side {
+            Side::V2 => Some((&self.bipartite, self.lemma1_v2.as_ref()?)),
+            Side::V1 => Some((self.swapped.as_ref()?, self.lemma1_v1.as_ref()?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_graph::bipartite::bipartite_from_lists;
+    use mcc_steiner::verify_lemma1_ordering;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn artifacts_are_shareable() {
+        assert_send_sync::<SchemaArtifacts>();
+        assert_send_sync::<std::sync::Arc<SchemaArtifacts>>();
+    }
+
+    #[test]
+    fn six_two_schema_gets_every_artifact() {
+        // Two overlapping relations: γ-acyclic, hence both pseudo routes
+        // and the full Steiner route are polynomial.
+        let bg = bipartite_from_lists(
+            &["a", "b", "c"],
+            &["R1", "R2"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1)],
+        );
+        let a = SchemaArtifacts::build(bg.clone());
+        assert!(a.classification().six_two);
+        assert_eq!(a.elimination_order().len(), bg.graph().node_count());
+        let (g2, l1) = a.algorithm1_route(Side::V2).expect("V2 route polynomial");
+        assert!(verify_lemma1_ordering(g2, &l1.order));
+        let (g1, l1v1) = a.algorithm1_route(Side::V1).expect("V1 route polynomial");
+        assert!(verify_lemma1_ordering(g1, &l1v1.order));
+        assert!(a.join_tree().is_some());
+    }
+
+    #[test]
+    fn off_class_schema_has_no_orderings() {
+        // Chordless C6: outside every tractable class.
+        let bg = bipartite_from_lists(
+            &["x1", "x2", "x3"],
+            &["y1", "y2", "y3"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)],
+        );
+        let a = SchemaArtifacts::build(bg);
+        assert!(!a.classification().six_two);
+        assert!(a.algorithm1_route(Side::V2).is_none());
+        assert!(a.algorithm1_route(Side::V1).is_none());
+        assert!(a.join_tree().is_none());
+        // The scan order is still cached (Algorithm 2 off-class is the
+        // e8 heuristic experiment, not a solver route, but the order is
+        // a pure function of the graph either way).
+        assert_eq!(a.elimination_order().len(), 6);
+    }
+}

@@ -53,9 +53,11 @@ pub use mcc_hypergraph as hypergraph;
 pub use mcc_reductions as reductions;
 pub use mcc_steiner as steiner;
 
+pub mod artifacts;
 pub mod figures;
 pub mod solver;
 
+pub use artifacts::SchemaArtifacts;
 pub use mcc_graph::{BudgetExceeded, BudgetKind, SolveBudget, Stage};
 pub use solver::{
     Degraded, Solution, SolveError, SolveOutcome, SolveStats, Solver, SolverConfig, SolverError,

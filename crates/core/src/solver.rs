@@ -5,18 +5,20 @@
 //! on adversarial instances, and is panic-isolated so a bug in one query
 //! cannot take down a long-lived solver shared across sessions.
 
-use mcc_chordality::{classify_bipartite_in, BipartiteClassification};
+use crate::artifacts::SchemaArtifacts;
+use mcc_chordality::BipartiteClassification;
 use mcc_graph::{
     BipartiteGraph, BudgetExceeded, BudgetKind, CancelToken, NodeSet, Side, SolveBudget, Stage,
     Workspace, WorkspaceStats,
 };
 use mcc_steiner::{
-    algorithm1_budgeted_in, algorithm2_budgeted_in, steiner_exact_budgeted,
+    algorithm1_with_ordering_budgeted_in, algorithm2_budgeted_in, steiner_exact_budgeted,
     steiner_exact_node_weighted_budgeted, steiner_kmb_budgeted, SteinerInstance, SteinerTree,
 };
 use std::cell::RefCell;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Duration;
 
 pub use mcc_steiner::{Degraded, SolveError, SolveOutcome};
@@ -153,8 +155,7 @@ impl Default for SolverConfig {
 /// instead of an abort.
 #[derive(Debug, Clone)]
 pub struct Solver {
-    bg: BipartiteGraph,
-    classification: BipartiteClassification,
+    artifacts: Arc<SchemaArtifacts>,
     config: SolverConfig,
     ws: RefCell<Workspace>,
 }
@@ -168,10 +169,23 @@ impl Solver {
     /// Classifies `bg` with explicit configuration.
     pub fn with_config(bg: BipartiteGraph, config: SolverConfig) -> Self {
         let mut ws = Workspace::with_capacity(bg.graph().node_count());
-        let classification = classify_bipartite_in(&mut ws, &bg);
+        let artifacts = Arc::new(SchemaArtifacts::build_in(&mut ws, bg));
         Solver {
-            bg,
-            classification,
+            artifacts,
+            config,
+            ws: RefCell::new(ws),
+        }
+    }
+
+    /// Prepares a solver from **precomputed** schema artifacts — no
+    /// classification or ordering work at all, just a workspace
+    /// allocation. This is the warm-cache constructor: the engine's
+    /// artifact cache builds one [`SchemaArtifacts`] per schema and
+    /// every worker thread derives its own solver from the shared `Arc`.
+    pub fn from_artifacts(artifacts: Arc<SchemaArtifacts>, config: SolverConfig) -> Self {
+        let ws = Workspace::with_capacity(artifacts.bipartite().graph().node_count());
+        Solver {
+            artifacts,
             config,
             ws: RefCell::new(ws),
         }
@@ -179,12 +193,17 @@ impl Solver {
 
     /// The classification computed at construction.
     pub fn classification(&self) -> &BipartiteClassification {
-        &self.classification
+        self.artifacts.classification()
+    }
+
+    /// The shared schema artifacts backing this solver.
+    pub fn artifacts(&self) -> &Arc<SchemaArtifacts> {
+        &self.artifacts
     }
 
     /// The graph.
     pub fn graph(&self) -> &BipartiteGraph {
-        &self.bg
+        self.artifacts.bipartite()
     }
 
     /// The active configuration (budget included).
@@ -208,9 +227,17 @@ impl Solver {
     }
 
     /// The panic-isolation and accounting boundary shared by the public
-    /// solve methods: heal a poisoned workspace, start the budget clock,
-    /// run the route under `catch_unwind`, stamp elapsed/check counters
-    /// on success, poison the workspace on panic.
+    /// solve methods: heal a poisoned workspace, **reset the per-solve
+    /// stats counters**, start the budget clock, run the route under
+    /// `catch_unwind`, stamp the full [`SolveStats`] on success, poison
+    /// the workspace on panic.
+    ///
+    /// Resetting `Workspace::stats` here (rather than snapshotting
+    /// inside each route) makes `Solution::stats` per-solve by
+    /// construction: a route that touches the workspace cannot leak its
+    /// traffic into the next solve's report, and a future route cannot
+    /// forget its own snapshot. The workspace is solver-private, so the
+    /// reset is invisible to everyone but this accounting.
     fn guarded<F>(&self, run: F) -> Result<Solution, SolveError>
     where
         F: FnOnce(&CancelToken) -> Result<Solution, SolveError>,
@@ -220,6 +247,7 @@ impl Solver {
             if ws.is_poisoned() {
                 ws.reset();
             }
+            ws.stats = WorkspaceStats::default();
         }
         let token = self.config.budget.start();
         // The workspace is epoch-stamped and the RefCell guard is dropped
@@ -229,8 +257,14 @@ impl Solver {
         match catch_unwind(AssertUnwindSafe(|| run(&token))) {
             Ok(mut result) => {
                 if let Ok(sol) = result.as_mut() {
-                    sol.stats.elapsed = token.elapsed();
-                    sol.stats.budget_checks = token.checks();
+                    let ws = self.ws.borrow();
+                    sol.stats = SolveStats {
+                        bfs_runs: ws.stats.bfs_runs,
+                        elimination_steps: ws.stats.elimination_steps,
+                        scratch_bytes: ws.scratch_bytes(),
+                        elapsed: token.elapsed(),
+                        budget_checks: token.checks(),
+                    };
                 }
                 result
             }
@@ -252,26 +286,23 @@ impl Solver {
         token: &CancelToken,
     ) -> Result<Solution, SolveError> {
         let budget = &self.config.budget;
-        let g = self.bg.graph();
-        if self.classification.six_two {
+        let g = self.graph().graph();
+        if self.classification().six_two {
+            // Warm path: the MCS scan order is a schema artifact — no
+            // per-solve ordering work, just the elimination loop.
             let mut ws = self.ws.borrow_mut();
-            let before = ws.stats;
-            let mut order = ws.take_node_buf();
-            order.extend(g.nodes());
-            let tree = algorithm2_budgeted_in(&mut ws, g, terminals, &order, budget, token);
-            ws.return_node_buf(order);
-            let tree = tree?;
+            let order = self.artifacts.elimination_order();
+            let tree = algorithm2_budgeted_in(&mut ws, g, terminals, order, budget, token)?;
             let cost = tree.node_cost();
-            let stats = Self::stats_since(&ws, before);
             return Ok(Solution {
                 tree,
                 strategy: SteinerStrategy::Algorithm2,
                 cost,
-                stats,
+                stats: SolveStats::default(),
                 degraded: None,
             });
         }
-        let stats = self.idle_stats();
+        let stats = SolveStats::default();
         if terminals.len() <= self.config.max_exact_terminals {
             match steiner_exact_budgeted(
                 &SteinerInstance::new(g.clone(), terminals.clone()),
@@ -328,34 +359,29 @@ impl Solver {
         token: &CancelToken,
     ) -> Result<Solution, SolveError> {
         let budget = &self.config.budget;
-        let applicable = match side {
-            Side::V2 => self.classification.pseudo_steiner_v2_polynomial(),
-            Side::V1 => self.classification.pseudo_steiner_v1_polynomial(),
-        };
-        if applicable {
-            let oriented = match side {
-                Side::V2 => self.bg.clone(),
-                Side::V1 => self.bg.swap_sides(),
-            };
+        if let Some((oriented, l1)) = self.artifacts.algorithm1_route(side) {
+            // Warm path: the Lemma 1 ordering (and, for the V1 side, the
+            // reoriented graph) are schema artifacts — the per-solve cost
+            // is just the Step 2 elimination loop. Before the artifact
+            // bundle existed this route cloned the whole graph and
+            // rebuilt H¹'s join tree on every solve.
             let mut ws = self.ws.borrow_mut();
-            let before = ws.stats;
-            let out = algorithm1_budgeted_in(&mut ws, &oriented, terminals, budget, token)?;
-            let stats = Self::stats_since(&ws, before);
+            let out = algorithm1_with_ordering_budgeted_in(
+                &mut ws, oriented, terminals, &l1.order, budget, token,
+            )?;
             return Ok(Solution {
                 tree: out.tree,
                 strategy: SteinerStrategy::Algorithm1,
                 cost: out.v2_cost,
-                stats,
+                stats: SolveStats::default(),
                 degraded: None,
             });
         }
         if terminals.len() <= self.config.max_exact_terminals {
-            let stats = self.idle_stats();
-            let g = self.bg.graph();
-            let weights: Vec<u64> = g
-                .nodes()
-                .map(|v| u64::from(self.bg.side(v) == side))
-                .collect();
+            let stats = SolveStats::default();
+            let bg = self.graph();
+            let g = bg.graph();
+            let weights: Vec<u64> = g.nodes().map(|v| u64::from(bg.side(v) == side)).collect();
             match steiner_exact_node_weighted_budgeted(g, terminals, &weights, budget, token) {
                 Ok(sol) => {
                     return Ok(Solution {
@@ -371,8 +397,8 @@ impl Solver {
                 Err(SolveError::Budget(reason)) if self.config.allow_heuristic => {
                     let tree = steiner_kmb_budgeted(g, terminals, budget, token)?;
                     let side_set = match side {
-                        Side::V1 => self.bg.v1_set(),
-                        Side::V2 => self.bg.v2_set(),
+                        Side::V1 => bg.v1_set(),
+                        Side::V2 => bg.v2_set(),
                     };
                     let cost = tree.nodes.intersection(&side_set).len();
                     return Ok(Solution {
@@ -400,24 +426,6 @@ impl Solver {
             kind: BudgetKind::ExactTerminals,
             limit: self.config.max_exact_terminals as u64,
             observed: observed as u64,
-        }
-    }
-
-    fn stats_since(ws: &Workspace, before: WorkspaceStats) -> SolveStats {
-        SolveStats {
-            bfs_runs: ws.stats.bfs_runs - before.bfs_runs,
-            elimination_steps: ws.stats.elimination_steps - before.elimination_steps,
-            scratch_bytes: ws.scratch_bytes(),
-            ..SolveStats::default()
-        }
-    }
-
-    /// Stats for routes that bypass the workspace (exact, heuristic):
-    /// zero deltas, current footprint.
-    fn idle_stats(&self) -> SolveStats {
-        SolveStats {
-            scratch_bytes: self.ws.borrow().scratch_bytes(),
-            ..SolveStats::default()
         }
     }
 }
@@ -525,6 +533,44 @@ mod tests {
         let display = format!("{}", first.stats);
         assert!(display.contains("BFS runs"), "{display}");
         assert!(display.contains("budget checks"), "{display}");
+    }
+
+    #[test]
+    fn stats_reset_per_solve_not_accumulated() {
+        // Regression: counters must reset at solve entry. A query issued
+        // after an unrelated (larger) solve must report exactly what the
+        // same query reports on a fresh solver — not the running total of
+        // both solves.
+        let bg = random_six_two_block_tree(Default::default(), 7);
+        let small = random_terminals(bg.graph(), None, 2, 11);
+        let large = random_terminals(bg.graph(), None, 5, 13);
+        let fresh = Solver::new(bg.clone()).solve_steiner(&small).unwrap();
+        let solver = Solver::new(bg);
+        solver.solve_steiner(&large).unwrap();
+        let after = solver.solve_steiner(&small).unwrap();
+        assert_eq!(after.stats.bfs_runs, fresh.stats.bfs_runs);
+        assert_eq!(after.stats.elimination_steps, fresh.stats.elimination_steps);
+    }
+
+    #[test]
+    fn warm_artifacts_solver_matches_cold() {
+        // A solver built from pre-shared artifacts must return the same
+        // answers as one that built them itself.
+        let bg = random_six_two_block_tree(Default::default(), 3);
+        let artifacts = std::sync::Arc::new(crate::SchemaArtifacts::build(bg.clone()));
+        let cold = Solver::new(bg.clone());
+        let warm = Solver::from_artifacts(artifacts, SolverConfig::default());
+        for seed in 0..5 {
+            let terminals = random_terminals(bg.graph(), None, 3, seed);
+            assert_eq!(
+                cold.solve_steiner(&terminals),
+                warm.solve_steiner(&terminals)
+            );
+            assert_eq!(
+                cold.solve_pseudo(&terminals, Side::V2),
+                warm.solve_pseudo(&terminals, Side::V2)
+            );
+        }
     }
 
     #[test]

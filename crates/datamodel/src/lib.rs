@@ -53,5 +53,5 @@ pub use interpret::{
 };
 pub use join_plan::{join_plan, JoinPlan};
 pub use query::{Interpretation, QueryEngine, QueryError, Strategy};
-pub use relational::RelationalSchema;
+pub use relational::{Relation, RelationalSchema, RelationalSchemaError};
 pub use session::{DisambiguationSession, Proposal, SessionError};

@@ -108,6 +108,39 @@ impl RelationalSchema {
         Ok(incidence_bipartite(&self.to_hypergraph()?))
     }
 
+    /// A stable structural fingerprint of the schema (FNV-1a over the
+    /// name, attribute names, and relation schemes, in declaration
+    /// order). Equal schemas always fingerprint equal, so an artifact
+    /// cache can use the fingerprint as a cheap first-pass dedup key and
+    /// fall back to full `==` only on a match; the value is deterministic
+    /// across processes (unlike `DefaultHasher`), so it is safe to
+    /// persist or log.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            // Length terminator so ["ab"] and ["a","b"] differ.
+            h ^= bytes.len() as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        eat(self.name.as_bytes());
+        for a in &self.attributes {
+            eat(a.as_bytes());
+        }
+        for r in &self.relations {
+            eat(r.name.as_bytes());
+            for &i in &r.attributes {
+                eat(&(i as u64).to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Rebuilds a schema from a hypergraph (inverse of
     /// [`RelationalSchema::to_hypergraph`] up to validation).
     pub fn from_hypergraph(name: &str, h: &Hypergraph) -> Self {
@@ -169,6 +202,34 @@ mod tests {
             s.to_hypergraph(),
             Err(RelationalSchemaError::AttributeOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn fingerprint_separates_structure() {
+        let s = sample();
+        assert_eq!(s.fingerprint(), sample().fingerprint());
+        let mut renamed = sample();
+        renamed.attributes[0] = "z".into();
+        assert_ne!(s.fingerprint(), renamed.fingerprint());
+        let mut rewired = sample();
+        rewired.relations[0].attributes = vec![0, 2];
+        assert_ne!(s.fingerprint(), rewired.fingerprint());
+        // Attribute-list boundaries matter: ["ab"] vs ["a", "b"].
+        let joined = RelationalSchema::from_lists("s", &["ab"], &[]);
+        let split = RelationalSchema::from_lists("s", &["a", "b"], &[]);
+        assert_ne!(joined.fingerprint(), split.fingerprint());
+    }
+
+    #[test]
+    fn schema_types_cross_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RelationalSchema>();
+        assert_send_sync::<Relation>();
+        assert_send_sync::<RelationalSchemaError>();
+        // The query engine itself is Send (movable into a worker thread);
+        // its interior workspace keeps it intentionally !Sync.
+        fn assert_send<T: Send>() {}
+        assert_send::<crate::QueryEngine>();
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! The schema-artifact cache: one immutable, `Arc`-shared
+//! [`SchemaArtifacts`] bundle per registered schema.
+//!
+//! ## Keying and invalidation
+//!
+//! Registration hands out an opaque [`SchemaId`] (a slot index). Each
+//! slot carries a **generation** counter; [`SchemaArtifactCache::replace`]
+//! and [`SchemaArtifactCache::invalidate`] bump it and drop the cached
+//! bundle, so any consumer holding `(SchemaId, generation)` can detect
+//! staleness without comparing schemas. Rebuild after invalidation is
+//! lazy — the next [`SchemaArtifactCache::artifacts`] call pays for it
+//! (and counts a **miss**); every serve off the cached bundle counts a
+//! **hit**. Registration itself builds eagerly and counts the initial
+//! miss, so `hits + misses` equals the number of artifact lookups plus
+//! registrations, and "warm solves skip classification/ordering" is
+//! exactly `misses == schemas registered` after any warm run.
+//!
+//! [`SchemaArtifactCache::register`] dedups structurally identical
+//! schemas (fingerprint first, full `==` to confirm), returning the
+//! existing id — re-registering a schema is a hit, not a rebuild.
+
+use mcc::SchemaArtifacts;
+use mcc_datamodel::{RelationalSchema, RelationalSchemaError};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// Opaque handle to a registered schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SchemaId(usize);
+
+impl fmt::Display for SchemaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema#{}", self.0)
+    }
+}
+
+/// A cache lookup result: the shared bundle plus the generation it was
+/// built for. Holders can revalidate cheaply by comparing generations.
+#[derive(Debug, Clone)]
+pub struct CachedArtifacts {
+    /// The slot generation the bundle corresponds to.
+    pub generation: u64,
+    /// The shared artifact bundle.
+    pub artifacts: Arc<SchemaArtifacts>,
+}
+
+/// Cache failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheError {
+    /// The id does not name a registered schema (of *this* cache).
+    UnknownSchema(SchemaId),
+    /// The schema failed validation when (re)building its artifacts.
+    Schema(RelationalSchemaError),
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::UnknownSchema(id) => write!(f, "{id} is not registered"),
+            CacheError::Schema(e) => write!(f, "invalid schema: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+struct Slot {
+    schema: Arc<RelationalSchema>,
+    fingerprint: u64,
+    generation: u64,
+    artifacts: Option<Arc<SchemaArtifacts>>,
+}
+
+/// The shared, thread-safe artifact cache. See the module docs for the
+/// keying/invalidation contract. All methods take `&self`; the cache is
+/// `Sync` and meant to live in an `Arc` shared by every worker (and
+/// possibly several [`crate::Engine`]s).
+#[derive(Default)]
+pub struct SchemaArtifactCache {
+    slots: RwLock<Vec<Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl fmt::Debug for SchemaArtifactCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SchemaArtifactCache")
+            .field("schemas", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl SchemaArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `schema`, building its artifact bundle eagerly (counted
+    /// as the slot's one cold **miss**). A schema structurally equal to
+    /// an already-registered one is deduplicated: the existing id comes
+    /// back and the lookup counts a **hit**.
+    pub fn register(&self, schema: RelationalSchema) -> Result<SchemaId, CacheError> {
+        let fingerprint = schema.fingerprint();
+        let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
+        if let Some(i) = slots
+            .iter()
+            .position(|s| s.fingerprint == fingerprint && *s.schema == schema)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(SchemaId(i));
+        }
+        let artifacts = Self::build(&schema)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        slots.push(Slot {
+            schema: Arc::new(schema),
+            fingerprint,
+            generation: 0,
+            artifacts: Some(artifacts),
+        });
+        Ok(SchemaId(slots.len() - 1))
+    }
+
+    /// Replaces the schema behind `id` (a schema *mutation*): the old
+    /// bundle is dropped, the generation bumps, and the new bundle is
+    /// built lazily on the next [`SchemaArtifactCache::artifacts`] call.
+    /// The new schema is validated here, eagerly, so a bad replacement
+    /// fails at the mutation site instead of at some later query.
+    pub fn replace(&self, id: SchemaId, schema: RelationalSchema) -> Result<(), CacheError> {
+        schema.to_bipartite().map_err(CacheError::Schema)?;
+        let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
+        let slot = slots.get_mut(id.0).ok_or(CacheError::UnknownSchema(id))?;
+        slot.fingerprint = schema.fingerprint();
+        slot.schema = Arc::new(schema);
+        slot.generation += 1;
+        slot.artifacts = None;
+        Ok(())
+    }
+
+    /// Drops the cached bundle for `id` and bumps its generation without
+    /// changing the schema — forcing the next lookup to rebuild (a
+    /// **miss**). Returns `false` for an unknown id.
+    pub fn invalidate(&self, id: SchemaId) -> bool {
+        let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
+        match slots.get_mut(id.0) {
+            Some(slot) => {
+                slot.generation += 1;
+                slot.artifacts = None;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The artifacts for `id`: the cached bundle (a **hit**), or a lazy
+    /// rebuild if the slot was invalidated (a **miss**).
+    pub fn artifacts(&self, id: SchemaId) -> Result<CachedArtifacts, CacheError> {
+        {
+            let slots = self.slots.read().unwrap_or_else(PoisonError::into_inner);
+            let slot = slots.get(id.0).ok_or(CacheError::UnknownSchema(id))?;
+            if let Some(a) = &slot.artifacts {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(CachedArtifacts {
+                    generation: slot.generation,
+                    artifacts: Arc::clone(a),
+                });
+            }
+        }
+        // Rebuild outside any lock (classification is the expensive
+        // part), then install under the write lock — racing rebuilders
+        // may duplicate work but never serve stale artifacts: the
+        // generation is re-checked and a bundle built for an older
+        // generation is discarded.
+        let (schema, generation) = {
+            let slots = self.slots.read().unwrap_or_else(PoisonError::into_inner);
+            let slot = slots.get(id.0).ok_or(CacheError::UnknownSchema(id))?;
+            (Arc::clone(&slot.schema), slot.generation)
+        };
+        let built = Self::build(&schema)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
+        let slot = slots.get_mut(id.0).ok_or(CacheError::UnknownSchema(id))?;
+        if slot.generation == generation {
+            if slot.artifacts.is_none() {
+                slot.artifacts = Some(Arc::clone(&built));
+            }
+            let a = slot.artifacts.as_ref().unwrap_or(&built);
+            Ok(CachedArtifacts {
+                generation,
+                artifacts: Arc::clone(a),
+            })
+        } else {
+            // Invalidated again while we were building: retry once
+            // recursively (bounded in practice — each retry observes a
+            // strictly newer generation).
+            drop(slots);
+            self.artifacts(id)
+        }
+    }
+
+    /// The schema behind `id`, if registered.
+    pub fn schema(&self, id: SchemaId) -> Option<Arc<RelationalSchema>> {
+        let slots = self.slots.read().unwrap_or_else(PoisonError::into_inner);
+        slots.get(id.0).map(|s| Arc::clone(&s.schema))
+    }
+
+    /// Number of registered schemas.
+    pub fn len(&self) -> usize {
+        self.slots
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no schema is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Artifact lookups served from the cache (plus dedup'd
+    /// registrations).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Artifact builds: cold registrations plus post-invalidation
+    /// rebuilds.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    fn build(schema: &RelationalSchema) -> Result<Arc<SchemaArtifacts>, CacheError> {
+        let bg = schema.to_bipartite().map_err(CacheError::Schema)?;
+        Ok(Arc::new(SchemaArtifacts::build(bg)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RelationalSchema {
+        RelationalSchema::from_lists(
+            "emp",
+            &["emp_id", "name", "dept", "budget"],
+            &[("EMP", &[0, 1, 2]), ("DEPT", &[2, 3])],
+        )
+    }
+
+    #[test]
+    fn register_is_the_only_cold_miss() {
+        let cache = SchemaArtifactCache::new();
+        let id = cache.register(sample()).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        for _ in 0..5 {
+            let got = cache.artifacts(id).unwrap();
+            assert_eq!(got.generation, 0);
+            assert!(got.artifacts.classification().six_two);
+        }
+        assert_eq!((cache.hits(), cache.misses()), (5, 1));
+    }
+
+    #[test]
+    fn structurally_equal_schemas_deduplicate() {
+        let cache = SchemaArtifactCache::new();
+        let a = cache.register(sample()).unwrap();
+        let b = cache.register(sample()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn invalidation_bumps_generation_and_rebuilds_lazily() {
+        let cache = SchemaArtifactCache::new();
+        let id = cache.register(sample()).unwrap();
+        let g0 = cache.artifacts(id).unwrap();
+        assert!(cache.invalidate(id));
+        let g1 = cache.artifacts(id).unwrap();
+        assert_eq!(g1.generation, g0.generation + 1);
+        assert!(!Arc::ptr_eq(&g0.artifacts, &g1.artifacts));
+        // register miss + rebuild miss, one hit each for g0 and the
+        // post-rebuild lookups.
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn replace_swaps_the_schema() {
+        let cache = SchemaArtifactCache::new();
+        let id = cache.register(sample()).unwrap();
+        let bigger = RelationalSchema::from_lists(
+            "emp2",
+            &["emp_id", "name", "dept", "budget", "site"],
+            &[("EMP", &[0, 1, 2]), ("DEPT", &[2, 3]), ("LOC", &[3, 4])],
+        );
+        cache.replace(id, bigger.clone()).unwrap();
+        assert_eq!(*cache.schema(id).unwrap(), bigger);
+        let got = cache.artifacts(id).unwrap();
+        assert_eq!(got.generation, 1);
+        assert_eq!(got.artifacts.bipartite().graph().node_count(), 8);
+        // Invalid replacements fail eagerly and leave the slot intact.
+        let bad = RelationalSchema::from_lists("bad", &["a"], &[("r", &[7])]);
+        assert!(matches!(cache.replace(id, bad), Err(CacheError::Schema(_))));
+        assert_eq!(*cache.schema(id).unwrap(), bigger);
+    }
+
+    #[test]
+    fn unknown_ids_are_reported() {
+        let cache = SchemaArtifactCache::new();
+        let other = SchemaArtifactCache::new();
+        let id = other.register(sample()).unwrap();
+        assert!(matches!(
+            cache.artifacts(id),
+            Err(CacheError::UnknownSchema(e)) if e == id
+        ));
+        assert!(!cache.invalidate(id));
+        assert!(cache.schema(id).is_none());
+    }
+
+    #[test]
+    fn cache_is_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchemaArtifactCache>();
+        assert_send_sync::<CachedArtifacts>();
+    }
+}

@@ -1,0 +1,472 @@
+//! The worker-pool executor and its admission front door.
+//!
+//! ## Ownership
+//!
+//! The only state shared between threads is read-only or synchronized:
+//! the artifact cache (`Arc`, internally locked), the bounded queue
+//! (mutex + condvar), and the counters (atomics). Everything with
+//! mutable scratch — the [`mcc::Solver`]s and their `Workspace`s — is
+//! owned by exactly one worker thread and never crosses a thread
+//! boundary. Workers keep a small per-thread solver table keyed by
+//! `(SchemaId, generation)`, revalidated against the cache on every
+//! request, so an invalidation atomically retires every worker's stale
+//! solver at its next pickup.
+//!
+//! ## Admission and drain
+//!
+//! [`Engine::submit`] never blocks and never solves inline: it either
+//! enqueues (bounded) or returns a typed [`Rejected`]. Shutdown flips a
+//! flag under the queue lock — nothing new is admitted, but workers keep
+//! draining until the queue is empty, so every admitted request gets its
+//! answer before [`Engine::shutdown`] returns.
+
+use crate::cache::{SchemaArtifactCache, SchemaId};
+use crate::request::{EngineError, QueryKind, QueryRequest, Rejected, Response, Ticket};
+use crate::stats::{Counters, EngineStats};
+use mcc::{Solver, SolverConfig};
+use mcc_graph::NodeSet;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+
+/// Engine sizing and solver tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Worker threads. `0` is allowed and means "admission only" — the
+    /// queue fills but nothing drains (useful for tests and for staging
+    /// work before workers exist); most callers want ≥ 1.
+    pub workers: usize,
+    /// Submission-queue capacity; the front door rejects with
+    /// [`Rejected::QueueFull`] beyond this.
+    pub queue_capacity: usize,
+    /// Per-solve configuration (budget, routing caps, heuristic
+    /// permission) applied to every request without its own budget.
+    pub solver: SolverConfig,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 1024,
+            solver: SolverConfig::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with `workers` threads and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> Self {
+        EngineConfig {
+            workers,
+            ..Self::default()
+        }
+    }
+}
+
+struct Job {
+    request: QueryRequest,
+    reply: mpsc::Sender<Response>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    work_ready: Condvar,
+    capacity: usize,
+    counters: Counters,
+    cache: Arc<SchemaArtifactCache>,
+}
+
+/// The concurrent query-serving engine. See the crate docs for the
+/// architecture and a usage example.
+///
+/// Dropping an engine without calling [`Engine::shutdown`] performs the
+/// same graceful drain (admitted work is still answered); `shutdown` is
+/// the explicit form that also returns the final [`EngineStats`].
+#[derive(Debug)]
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    config: EngineConfig,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field("capacity", &self.capacity)
+            .field("cache", &self.cache)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Starts the worker pool with a fresh, private artifact cache.
+    pub fn new(config: EngineConfig) -> Self {
+        Self::with_cache(config, Arc::new(SchemaArtifactCache::new()))
+    }
+
+    /// Starts the worker pool over an existing (possibly shared)
+    /// artifact cache — several engines can serve the same registered
+    /// schemas without rebuilding artifacts.
+    pub fn with_cache(config: EngineConfig, cache: Arc<SchemaArtifactCache>) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+            capacity: config.queue_capacity.max(1),
+            counters: Counters::default(),
+            cache,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let solver_config = config.solver;
+                thread::Builder::new()
+                    .name(format!("mcc-engine-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, solver_config))
+                    .expect("spawning an engine worker thread")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers,
+            config,
+        }
+    }
+
+    /// The engine's artifact cache.
+    pub fn cache(&self) -> &Arc<SchemaArtifactCache> {
+        &self.shared.cache
+    }
+
+    /// The configuration the engine was started with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Registers a schema with the engine's cache (building its artifact
+    /// bundle); the returned id keys every [`QueryRequest`].
+    pub fn register(
+        &self,
+        schema: mcc_datamodel::RelationalSchema,
+    ) -> Result<SchemaId, crate::cache::CacheError> {
+        self.shared.cache.register(schema)
+    }
+
+    /// Admits `request`, or rejects it without blocking. The returned
+    /// [`Ticket`] resolves to the answer; dropping the ticket abandons
+    /// the answer but the request is still served (and counted).
+    pub fn submit(&self, request: QueryRequest) -> Result<Ticket, Rejected> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut q = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if q.shutdown {
+                self.shared
+                    .counters
+                    .rejected_shutdown
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Rejected::Shutdown);
+            }
+            if q.jobs.len() >= self.shared.capacity {
+                self.shared
+                    .counters
+                    .rejected_full
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(Rejected::QueueFull);
+            }
+            q.jobs.push_back(Job { request, reply: tx });
+        }
+        self.shared
+            .counters
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.work_ready.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits a whole batch, stopping at the first rejection: returns
+    /// the tickets admitted so far plus the index of the rejected
+    /// request, if any.
+    pub fn submit_batch(
+        &self,
+        requests: impl IntoIterator<Item = QueryRequest>,
+    ) -> (Vec<Ticket>, Option<(usize, Rejected)>) {
+        let mut tickets = Vec::new();
+        for (i, request) in requests.into_iter().enumerate() {
+            match self.submit(request) {
+                Ok(t) => tickets.push(t),
+                Err(r) => return (tickets, Some((i, r))),
+            }
+        }
+        (tickets, None)
+    }
+
+    /// A point-in-time activity snapshot.
+    pub fn stats(&self) -> EngineStats {
+        let depth = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len();
+        EngineStats::snapshot(
+            &self.shared.counters,
+            depth,
+            self.shared.cache.hits(),
+            self.shared.cache.misses(),
+        )
+    }
+
+    /// Stops admission, drains every already-admitted request, joins the
+    /// workers, and returns the final stats. With zero workers the queue
+    /// cannot drain; pending tickets resolve to [`EngineError::Lost`].
+    pub fn shutdown(mut self) -> EngineStats {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        let mut q = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        q.shutdown = true;
+        if self.workers.is_empty() {
+            // No one will ever drain: drop pending jobs so their tickets
+            // resolve to `Lost` instead of hanging.
+            q.jobs.clear();
+        }
+        drop(q);
+        self.shared.work_ready.notify_all();
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One worker: block for work, drain after shutdown, answer every job.
+fn worker_loop(shared: &Shared, solver_config: SolverConfig) {
+    // (generation, solver) per schema; revalidated against the cache on
+    // every request. The solvers (and their workspaces) never leave this
+    // thread.
+    let mut solvers: HashMap<SchemaId, (u64, Solver)> = HashMap::new();
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break Some(job);
+                }
+                if q.shutdown {
+                    break None;
+                }
+                q = shared
+                    .work_ready
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(job) = job else { return };
+        let result = serve(shared, &mut solvers, solver_config, &job.request);
+        match &result {
+            Ok(sol) => {
+                shared.counters.solved.fetch_add(1, Ordering::Relaxed);
+                if sol.degraded.is_some() {
+                    shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // A dropped ticket is not an error: the request was served and
+        // counted either way.
+        let _ = job.reply.send(result);
+        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Serves one request on the calling worker thread.
+fn serve(
+    shared: &Shared,
+    solvers: &mut HashMap<SchemaId, (u64, Solver)>,
+    solver_config: SolverConfig,
+    request: &QueryRequest,
+) -> Response {
+    let cached = shared
+        .cache
+        .artifacts(request.schema)
+        .map_err(EngineError::Cache)?;
+    // Revalidate this worker's solver: schema invalidation bumps the
+    // generation, retiring every worker's cached solver at next pickup.
+    let entry = solvers.entry(request.schema);
+    let (gen, solver) = entry.or_insert_with(|| {
+        (
+            cached.generation,
+            Solver::from_artifacts(Arc::clone(&cached.artifacts), solver_config),
+        )
+    });
+    if *gen != cached.generation {
+        *gen = cached.generation;
+        *solver = Solver::from_artifacts(Arc::clone(&cached.artifacts), solver_config);
+    }
+
+    let g = cached.artifacts.bipartite().graph();
+    let mut terminals = NodeSet::new(g.node_count());
+    for name in &request.objects {
+        match g.node_by_label(name) {
+            Some(v) => {
+                terminals.insert(v);
+            }
+            None => return Err(EngineError::UnknownName(name.clone())),
+        }
+    }
+
+    // A per-request budget gets a transient solver over the same shared
+    // artifacts — warm construction is just a workspace allocation, and
+    // the long-lived solver's configuration stays untouched.
+    let transient;
+    let active: &Solver = match request.budget {
+        Some(budget) => {
+            let config = SolverConfig {
+                budget,
+                ..solver_config
+            };
+            transient = Solver::from_artifacts(Arc::clone(&cached.artifacts), config);
+            &transient
+        }
+        None => solver,
+    };
+
+    let result = match request.kind {
+        QueryKind::Steiner => active.solve_steiner(&terminals),
+        QueryKind::Pseudo(side) => active.solve_pseudo(&terminals, side),
+    };
+    result.map_err(EngineError::Solve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcc_datamodel::RelationalSchema;
+
+    fn acyclic() -> RelationalSchema {
+        RelationalSchema::from_lists(
+            "emp",
+            &["emp_id", "name", "dept", "budget"],
+            &[("EMP", &[0, 1, 2]), ("DEPT", &[2, 3])],
+        )
+    }
+
+    #[test]
+    fn serves_a_basic_query() {
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let id = engine.register(acyclic()).unwrap();
+        let sol = engine
+            .submit(QueryRequest::steiner(id, &["name", "budget"]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(sol.strategy, mcc::SteinerStrategy::Algorithm2);
+        assert_eq!(sol.cost, 5); // name – EMP – dept – DEPT – budget
+    }
+
+    #[test]
+    fn unknown_name_is_reported() {
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let id = engine.register(acyclic()).unwrap();
+        let err = engine
+            .submit(QueryRequest::steiner(id, &["name", "salary"]))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert_eq!(err, EngineError::UnknownName("salary".into()));
+    }
+
+    #[test]
+    fn zero_worker_engine_admits_but_never_serves() {
+        let engine = Engine::new(EngineConfig {
+            workers: 0,
+            queue_capacity: 2,
+            solver: SolverConfig::default(),
+        });
+        let id = engine.register(acyclic()).unwrap();
+        let t1 = engine.submit(QueryRequest::steiner(id, &["name"])).unwrap();
+        let _t2 = engine.submit(QueryRequest::steiner(id, &["dept"])).unwrap();
+        assert!(matches!(
+            engine.submit(QueryRequest::steiner(id, &["budget"])),
+            Err(Rejected::QueueFull)
+        ));
+        assert_eq!(engine.stats().queue_depth, 2);
+        assert_eq!(engine.stats().rejected_full, 1);
+        let stats = engine.shutdown();
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(t1.wait(), Err(EngineError::Lost));
+    }
+
+    #[test]
+    fn submit_after_shutdown_flag_is_rejected() {
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let id = engine.register(acyclic()).unwrap();
+        engine.begin_shutdown();
+        assert!(matches!(
+            engine.submit(QueryRequest::steiner(id, &["name"])),
+            Err(Rejected::Shutdown)
+        ));
+        assert_eq!(engine.stats().rejected_shutdown, 1);
+    }
+
+    #[test]
+    fn per_request_budget_overrides() {
+        use mcc::SolveBudget;
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let id = engine.register(acyclic()).unwrap();
+        // An already-expired deadline must trip the budget for this
+        // request only…
+        let starved = QueryRequest::steiner(id, &["name", "budget"])
+            .with_budget(SolveBudget::with_deadline(std::time::Duration::ZERO));
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err = engine.submit(starved).unwrap().wait().unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Solve(mcc::SolveError::Budget(_))
+        ));
+        // …while the next, unbudgeted request is unaffected.
+        let ok = engine
+            .submit(QueryRequest::steiner(id, &["name", "budget"]))
+            .unwrap()
+            .wait();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn engine_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+        fn assert_send<T: Send>() {}
+        assert_send::<Ticket>();
+    }
+}

@@ -1,0 +1,148 @@
+//! Request/response vocabulary of the front door: what a client submits,
+//! what can come back, and the [`Ticket`] joining the two across the
+//! thread boundary.
+
+use crate::cache::{CacheError, SchemaId};
+use mcc::{Solution, SolveBudget, SolveError};
+use mcc_graph::Side;
+use std::fmt;
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Which problem a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Minimum total-node connection (Definition 8; Algorithm 2 /
+    /// exact / heuristic).
+    Steiner,
+    /// Minimum connection w.r.t. one side's node count (Definition 9;
+    /// Algorithm 1 / node-weighted exact).
+    Pseudo(Side),
+}
+
+/// One unit of work for the engine: a query over a registered schema.
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The schema to query (from [`crate::Engine::register`]).
+    pub schema: SchemaId,
+    /// Object names to connect (attribute or relation labels).
+    pub objects: Vec<String>,
+    /// Which problem to solve.
+    pub kind: QueryKind,
+    /// Per-request budget override. `None`: the engine's configured
+    /// solver budget applies.
+    pub budget: Option<SolveBudget>,
+}
+
+impl QueryRequest {
+    /// A Steiner (minimum total nodes) request over named objects.
+    pub fn steiner(schema: SchemaId, objects: &[&str]) -> Self {
+        QueryRequest {
+            schema,
+            objects: objects.iter().map(|s| s.to_string()).collect(),
+            kind: QueryKind::Steiner,
+            budget: None,
+        }
+    }
+
+    /// A pseudo-Steiner request minimizing `side` nodes.
+    pub fn pseudo(schema: SchemaId, objects: &[&str], side: Side) -> Self {
+        QueryRequest {
+            kind: QueryKind::Pseudo(side),
+            ..Self::steiner(schema, objects)
+        }
+    }
+
+    /// Overrides the solve budget for this request only (e.g. a
+    /// per-request deadline: `SolveBudget::with_deadline(..)`).
+    pub fn with_budget(mut self, budget: SolveBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+}
+
+/// Why a request failed after admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The request named a schema this engine's cache does not hold, or
+    /// the schema failed validation on artifact rebuild.
+    Cache(CacheError),
+    /// An object name matched no attribute or relation of the schema.
+    UnknownName(String),
+    /// The solve itself failed (disconnected terminals, budget
+    /// exhaustion with no fallback, internal error).
+    Solve(SolveError),
+    /// The engine shut down (or a worker died) before answering; the
+    /// request was admitted but never served.
+    Lost,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Cache(e) => write!(f, "{e}"),
+            EngineError::UnknownName(n) => write!(f, "unknown object name {n:?}"),
+            EngineError::Solve(e) => write!(f, "solve failed: {e}"),
+            EngineError::Lost => write!(f, "the engine shut down before answering"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Why a request was refused at the front door (never admitted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The bounded submission queue is at capacity — backpressure;
+    /// resubmit later or shed load.
+    QueueFull,
+    /// The engine is shutting down and admits nothing new.
+    Shutdown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "submission queue is full"),
+            Rejected::Shutdown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// The response a worker sends back for one request.
+pub type Response = Result<Solution, EngineError>;
+
+/// A claim on one admitted request's eventual answer.
+#[derive(Debug)]
+pub struct Ticket {
+    pub(crate) rx: mpsc::Receiver<Response>,
+}
+
+impl Ticket {
+    /// Blocks until the answer arrives. [`EngineError::Lost`] if the
+    /// engine dropped the request (shutdown race, worker death).
+    pub fn wait(self) -> Response {
+        self.rx.recv().unwrap_or(Err(EngineError::Lost))
+    }
+
+    /// As [`Ticket::wait`], giving up (and consuming the ticket) after
+    /// `timeout`; `None` on timeout.
+    pub fn wait_timeout(self, timeout: Duration) -> Option<Response> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(EngineError::Lost)),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+        }
+    }
+
+    /// Non-blocking poll: `None` while the answer is still in flight.
+    pub fn try_wait(&self) -> Option<Response> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(EngineError::Lost)),
+            Err(mpsc::TryRecvError::Empty) => None,
+        }
+    }
+}

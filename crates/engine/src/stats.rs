@@ -1,0 +1,91 @@
+//! Engine-level observability: lock-free counters updated by the front
+//! door and the workers, snapshotted into [`EngineStats`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The engine's internal counters. Relaxed ordering throughout: the
+/// counters are statistics, not synchronization — the queue mutex and
+/// the response channels order the actual work.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub solved: AtomicU64,
+    pub failed: AtomicU64,
+    pub degraded: AtomicU64,
+    pub rejected_full: AtomicU64,
+    pub rejected_shutdown: AtomicU64,
+}
+
+/// A point-in-time snapshot of one engine's activity (see
+/// [`crate::Engine::stats`]). Counter totals are monotonic;
+/// `queue_depth` is instantaneous.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests currently admitted but not yet picked up by a worker.
+    pub queue_depth: usize,
+    /// Requests admitted through the front door.
+    pub submitted: u64,
+    /// Requests fully served (answer delivered or caller gone).
+    pub completed: u64,
+    /// Served requests that produced a solution.
+    pub solved: u64,
+    /// Served requests that produced an error.
+    pub failed: u64,
+    /// Solutions that stepped down the degradation ladder (budget trips
+    /// answered by the heuristic; see `mcc_steiner::Degraded`).
+    pub degraded: u64,
+    /// Submissions refused because the queue was at capacity.
+    pub rejected_full: u64,
+    /// Submissions refused because the engine was shutting down.
+    pub rejected_shutdown: u64,
+    /// Artifact-cache lookups served without schema-level work. Warm
+    /// solves hit; a steady-state engine does **only** per-query work.
+    pub cache_hits: u64,
+    /// Artifact builds (cold registrations + post-invalidation
+    /// rebuilds) — the only places classification/ordering ever runs.
+    pub cache_misses: u64,
+}
+
+impl EngineStats {
+    pub(crate) fn snapshot(
+        counters: &Counters,
+        queue_depth: usize,
+        cache_hits: u64,
+        cache_misses: u64,
+    ) -> Self {
+        EngineStats {
+            queue_depth,
+            submitted: counters.submitted.load(Ordering::Relaxed),
+            completed: counters.completed.load(Ordering::Relaxed),
+            solved: counters.solved.load(Ordering::Relaxed),
+            failed: counters.failed.load(Ordering::Relaxed),
+            degraded: counters.degraded.load(Ordering::Relaxed),
+            rejected_full: counters.rejected_full.load(Ordering::Relaxed),
+            rejected_shutdown: counters.rejected_shutdown.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+        }
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue {} deep; {} submitted, {} completed ({} solved, {} failed, {} degraded); \
+             rejected {} full + {} shutdown; cache {} hits / {} misses",
+            self.queue_depth,
+            self.submitted,
+            self.completed,
+            self.solved,
+            self.failed,
+            self.degraded,
+            self.rejected_full,
+            self.rejected_shutdown,
+            self.cache_hits,
+            self.cache_misses
+        )
+    }
+}

@@ -24,7 +24,7 @@ use mcc_graph::{
     component_of_in, terminals_connected_in, BipartiteGraph, CancelToken, NodeId, NodeSet, Side,
     SolveBudget, Stage, Workspace,
 };
-use mcc_hypergraph::{h1_of_bipartite, running_intersection_ordering};
+use mcc_hypergraph::{h1_of_bipartite, running_intersection_ordering, JoinTree};
 use std::fmt;
 
 /// Failure modes of Algorithm 1.
@@ -53,6 +53,54 @@ impl fmt::Display for Algorithm1Error {
 }
 
 impl std::error::Error for Algorithm1Error {}
+
+/// The schema-level artifact behind Algorithm 1's Step 1: the Lemma 1
+/// elimination ordering of the (non-isolated) `V₂` nodes, together with
+/// the join tree of `H¹` that witnesses it.
+///
+/// The ordering is a **pure function of the graph** — it does not depend
+/// on the terminal set — so long-lived callers (the `mcc` solver's
+/// schema artifacts, the `mcc-engine` artifact cache) compute it once
+/// per schema and replay it across every query via
+/// [`algorithm1_with_ordering_budgeted_in`], skipping the `H¹`
+/// construction and join-tree search entirely on the per-query path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lemma1Ordering {
+    /// The reversed running-intersection ordering of `V₂` nodes (graph
+    /// ids of the *original* bipartite graph).
+    pub order: Vec<NodeId>,
+    /// The join tree of `H¹` (over the isolated-`V₂`-cleaned graph) the
+    /// ordering was derived from — a replayable certificate.
+    pub join_tree: JoinTree,
+}
+
+/// Computes the Lemma 1 ordering of `bg` (Step 1 of Algorithm 1):
+/// build `H¹` of the isolated-`V₂`-cleaned graph, take a
+/// running-intersection ordering of its edges, reverse it, and map the
+/// edge ids back to `V₂` node ids of `bg`.
+///
+/// Returns `None` when `H¹` is not α-acyclic — the graph is not
+/// V₂-chordal ∧ V₂-conformal, so no Lemma 1 ordering exists and
+/// Algorithm 1's optimality guarantee is void.
+pub fn lemma1_ordering(bg: &BipartiteGraph) -> Option<Lemma1Ordering> {
+    let cleaned = drop_isolated_v2(bg);
+    let (h1, _node_map, edge_map) = h1_of_bipartite(&cleaned).expect("isolated V2 nodes dropped");
+    let jt = running_intersection_ordering(&h1)?;
+    // Edge ids of H¹ → V2 node ids in `cleaned` → ids in `bg`. The
+    // cleaned graph preserves labels and relative order, so rebuild the
+    // id translation positionally.
+    let cleaned_to_orig = cleaned_id_map(bg, &cleaned);
+    let mut order: Vec<NodeId> = jt
+        .order
+        .iter()
+        .map(|e| cleaned_to_orig[edge_map[e.index()].index()])
+        .collect();
+    order.reverse();
+    Some(Lemma1Ordering {
+        order,
+        join_tree: jt,
+    })
+}
 
 /// Output of Algorithm 1: the pseudo-Steiner tree plus the elimination
 /// ordering used (a replayable certificate).
@@ -113,6 +161,41 @@ pub fn algorithm1_budgeted_in(
     budget: &SolveBudget,
     token: &CancelToken,
 ) -> SolveOutcome<Algorithm1Output> {
+    algorithm1_dispatch(ws, bg, terminals, None, budget, token)
+}
+
+/// [`algorithm1_budgeted_in`] with a **precomputed** Lemma 1 ordering
+/// (see [`lemma1_ordering`]): runs only Steps 2–3, skipping the `H¹`
+/// construction and join-tree search that are a pure function of the
+/// schema. This is the warm-cache entry point used by the solver's
+/// schema artifacts and the `mcc-engine` serving layer.
+///
+/// `ordering` must be a Lemma 1 ordering of `bg` (the caller is trusted;
+/// [`verify_lemma1_ordering`] checks the property when in doubt). A wrong
+/// ordering costs optimality, not soundness: the result is still a valid
+/// connection, just possibly not `V₂`-minimum.
+pub fn algorithm1_with_ordering_budgeted_in(
+    ws: &mut Workspace,
+    bg: &BipartiteGraph,
+    terminals: &NodeSet,
+    ordering: &[NodeId],
+    budget: &SolveBudget,
+    token: &CancelToken,
+) -> SolveOutcome<Algorithm1Output> {
+    algorithm1_dispatch(ws, bg, terminals, Some(ordering), budget, token)
+}
+
+/// The shared body: admission, degenerate cases, component restriction,
+/// then Step 1 (only when no precomputed ordering was supplied) and the
+/// Steps 2–3 elimination.
+fn algorithm1_dispatch(
+    ws: &mut Workspace,
+    bg: &BipartiteGraph,
+    terminals: &NodeSet,
+    precomputed: Option<&[NodeId]>,
+    budget: &SolveBudget,
+    token: &CancelToken,
+) -> SolveOutcome<Algorithm1Output> {
     let g = bg.graph();
     let n = g.node_count();
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
@@ -160,25 +243,18 @@ pub fn algorithm1_budgeted_in(
         return Err(SolveError::Disconnected);
     }
 
-    // Step 1: Lemma 1 ordering. Build H¹ of the graph (isolated V2 nodes
-    // are never on connections, drop them), get a running-intersection
-    // ordering of its edges, reverse it, and map back to V₂ node ids.
-    let cleaned = drop_isolated_v2(bg);
-    let (h1, _node_map, edge_map) = h1_of_bipartite(&cleaned).expect("isolated V2 nodes dropped");
-    let Some(jt) = running_intersection_ordering(&h1) else {
-        ws.return_set_buf(alive);
-        return Err(SolveError::NotAlphaAcyclic);
+    // Step 1: Lemma 1 ordering — precomputed (warm cache) or derived
+    // here from H¹'s join tree (see `lemma1_ordering`).
+    let ordering: Vec<NodeId> = match precomputed {
+        Some(order) => order.to_vec(),
+        None => match lemma1_ordering(bg) {
+            Some(l1) => l1.order,
+            None => {
+                ws.return_set_buf(alive);
+                return Err(SolveError::NotAlphaAcyclic);
+            }
+        },
     };
-    // edge ids of H¹ → V2 node ids in `cleaned` → ids in `bg`. The
-    // cleaned graph preserves labels and relative order, so rebuild the
-    // id translation positionally.
-    let cleaned_to_orig = cleaned_id_map(bg, &cleaned);
-    let mut ordering: Vec<NodeId> = jt
-        .order
-        .iter()
-        .map(|e| cleaned_to_orig[edge_map[e.index()].index()])
-        .collect();
-    ordering.reverse();
 
     // Step 1 (H¹ + join tree) can itself be sizeable: settle up with the
     // clock before entering the elimination loop.
@@ -359,6 +435,51 @@ mod tests {
         assert_eq!(out.v2_cost, 2);
         let bf = side_minimum_cover_bruteforce(bg.graph(), &terminals, &bg.v2_set()).unwrap();
         assert_eq!(bf.intersection(&bg.v2_set()).len(), out.v2_cost);
+    }
+
+    #[test]
+    fn precomputed_ordering_matches_cold_path() {
+        let bg = acyclic_schema();
+        let l1 = lemma1_ordering(&bg).expect("alpha-acyclic");
+        assert!(verify_lemma1_ordering(&bg, &l1.order));
+        assert!(l1.join_tree.order.len() == l1.order.len());
+        let budget = SolveBudget::unbounded();
+        for labels in [&["a", "d"][..], &["a", "c"], &["b", "d"], &["a", "b", "d"]] {
+            let terminals = ids(&bg, labels);
+            let mut ws = Workspace::new();
+            let cold = algorithm1_budgeted_in(
+                &mut ws,
+                &bg,
+                &terminals,
+                &budget,
+                &CancelToken::unbounded(),
+            )
+            .unwrap();
+            let warm = algorithm1_with_ordering_budgeted_in(
+                &mut ws,
+                &bg,
+                &terminals,
+                &l1.order,
+                &budget,
+                &CancelToken::unbounded(),
+            )
+            .unwrap();
+            // The cold path derives exactly this ordering, so the answers
+            // are identical, not merely equal-cost.
+            assert_eq!(cold.ordering, warm.ordering);
+            assert_eq!(cold, warm);
+        }
+    }
+
+    #[test]
+    fn lemma1_ordering_rejects_off_class_graphs() {
+        // Chordless C6: not V2-conformal, H¹ not α-acyclic.
+        let bg = bipartite_from_lists(
+            &["x1", "x2", "x3"],
+            &["y1", "y2", "y3"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (0, 2)],
+        );
+        assert!(lemma1_ordering(&bg).is_none());
     }
 
     #[test]

@@ -48,7 +48,8 @@ pub mod outcome;
 pub mod pseudo;
 
 pub use algorithm1::{
-    algorithm1, algorithm1_budgeted_in, algorithm1_in, verify_lemma1_ordering, Algorithm1Error,
+    algorithm1, algorithm1_budgeted_in, algorithm1_in, algorithm1_with_ordering_budgeted_in,
+    lemma1_ordering, verify_lemma1_ordering, Algorithm1Error, Lemma1Ordering,
 };
 pub use algorithm2::{
     algorithm2, algorithm2_budgeted_in, algorithm2_with_order, algorithm2_with_order_in,
