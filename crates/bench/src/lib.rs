@@ -2,6 +2,8 @@
 //! E1–E9 of DESIGN.md). Everything is seed-deterministic so Criterion
 //! runs and the `tables` binary measure identical instances.
 
+#![forbid(unsafe_code)]
+
 use mcc::gen::block_tree::BlockTreeShape;
 use mcc::gen::join_tree::JoinTreeShape;
 use mcc::gen::{

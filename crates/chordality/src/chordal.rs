@@ -22,6 +22,13 @@ pub fn is_chordal_in(ws: &mut Workspace, g: &Graph) -> bool {
     mcs_order_in(ws, g, &mut order);
     order.reverse();
     let ok = is_perfect_elimination_ordering_in(ws, g, &order);
+    // Certificate cross-check (debug builds only): the deferred Golumbic
+    // verdict must agree with the literal all-pairs PEO definition.
+    debug_assert!(
+        g.node_count() > crate::check::CHECK_PEO_MAX_NODES
+            || ok == crate::check::check_peo(g, &order),
+        "deferred PEO check disagrees with the definitional certificate (MCS order)"
+    );
     ws.return_node_buf(order);
     ok
 }
@@ -42,6 +49,11 @@ pub fn is_chordal_lexbfs_in(ws: &mut Workspace, g: &Graph) -> bool {
     lexbfs_order_in(ws, g, &mut order);
     order.reverse();
     let ok = is_perfect_elimination_ordering_in(ws, g, &order);
+    debug_assert!(
+        g.node_count() > crate::check::CHECK_PEO_MAX_NODES
+            || ok == crate::check::check_peo(g, &order),
+        "deferred PEO check disagrees with the definitional certificate (LexBFS order)"
+    );
     ws.return_node_buf(order);
     ok
 }
@@ -86,6 +98,7 @@ pub fn find_chordless_cycle(g: &Graph) -> Option<Vec<mcc_graph::NodeId>> {
             }
         }
     }
+    // PROVABLY: callers only reach here with a non-chordal graph, and every non-chordal graph contains a chordless cycle the scan above returns.
     unreachable!("a non-chordal graph always yields a chordless-cycle witness")
 }
 

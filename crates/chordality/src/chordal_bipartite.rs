@@ -73,8 +73,10 @@ pub fn is_chordal_bipartite(g: &Graph) -> bool {
 }
 
 fn remove_edge(adj: &mut [Vec<NodeId>], a: NodeId, b: NodeId) {
+    // PROVABLY: callers pass an edge they just enumerated from this adjacency.
     let pos = adj[a.index()].binary_search(&b).expect("edge present");
     adj[a.index()].remove(pos);
+    // PROVABLY: the reverse direction of the same enumerated edge.
     let pos = adj[b.index()].binary_search(&a).expect("edge present");
     adj[b.index()].remove(pos);
 }
@@ -85,6 +87,7 @@ fn remove_edge(adj: &mut [Vec<NodeId>], a: NodeId, b: NodeId) {
 pub fn is_chordal_bipartite_via_beta(bg: &BipartiteGraph) -> bool {
     match h1_of_bipartite(&drop_isolated_v2(bg)) {
         Ok((h, _, _)) => is_beta_acyclic(&h),
+        // PROVABLY: `h1_of_bipartite` fails only on isolated V2 nodes, just dropped.
         Err(_) => unreachable!("isolated V2 nodes were dropped"),
     }
 }
@@ -109,9 +112,11 @@ pub fn drop_isolated_v2(bg: &BipartiteGraph) -> BipartiteGraph {
             NodeId::from_index(index[a.index()]),
             NodeId::from_index(index[c.index()]),
         )
+        // PROVABLY: kept ids were remapped through `index`, which covers every retained node.
         .expect("kept ids valid");
     }
     let side = keep.iter().map(|&v| bg.side(v)).collect();
+    // PROVABLY: sides are copied from the input graph, whose edges already cross sides.
     BipartiteGraph::new(b.build(), side).expect("partition preserved")
 }
 

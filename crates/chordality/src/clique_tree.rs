@@ -79,10 +79,12 @@ pub fn clique_tree(g: &Graph) -> Option<(JoinTree, Vec<NodeSet>)> {
     }
     for (i, c) in cliques.iter().enumerate() {
         b.add_edge(format!("K{i}"), c.iter())
+            // PROVABLY: maximal cliques are nonempty, `add_edge`'s only failure mode here.
             .expect("cliques nonempty");
     }
     let h = b.build();
     let jt = running_intersection_ordering(&h)
+        // PROVABLY: the clique hypergraph of a chordal graph is alpha-acyclic (Gavril), so a running-intersection ordering exists.
         .expect("clique hypergraphs of chordal graphs are alpha-acyclic");
     Some((jt, cliques))
 }

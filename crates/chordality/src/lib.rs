@@ -53,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod chordal;
 pub mod chordal_bipartite;
 pub mod classify;
@@ -66,6 +67,7 @@ pub mod six_two;
 pub mod vi_chordal;
 pub mod vi_conformal;
 
+pub use check::{check_peo, CHECK_PEO_MAX_NODES};
 pub use chordal::{
     find_chordless_cycle, is_chordal, is_chordal_in, is_chordal_lexbfs, is_chordal_lexbfs_in,
 };

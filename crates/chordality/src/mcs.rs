@@ -31,6 +31,7 @@ pub fn mcs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
     // buckets[w] = nodes with current weight w (lazily cleaned).
     let mut buckets = ws.take_bucket_list();
     if buckets.is_empty() {
+        // lint:allow(hot-path-alloc): warm-up growth of the pooled bucket spine; steady state is allocation-free (pinned by alloc_regression.rs).
         buckets.push(Vec::new());
     }
     buckets[0].extend(g.nodes());
@@ -61,6 +62,7 @@ pub fn mcs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
                 weight[u.index()] += 1;
                 let w = weight[u.index()];
                 if w >= buckets.len() {
+                    // lint:allow(hot-path-alloc): bucket-spine growth to the max weight seen, amortized away across reuse (pinned by alloc_regression.rs).
                     buckets.resize(w + 1, Vec::new());
                 }
                 buckets[w].push(u);

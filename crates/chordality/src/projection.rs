@@ -32,6 +32,7 @@ pub fn project_onto(bg: &BipartiteGraph, s: Side) -> (Graph, Vec<NodeId>) {
                     NodeId::from_index(index[nbrs[i].index()]),
                     NodeId::from_index(index[nbrs[j].index()]),
                 )
+                // PROVABLY: projected ids come from the `index` remap built over exactly the kept nodes.
                 .expect("projected ids valid");
             }
         }

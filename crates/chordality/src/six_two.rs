@@ -80,14 +80,17 @@ pub fn find_sparse_six_cycle(bg: &BipartiteGraph) -> Option<Vec<mcc_graph::NodeI
                                                // takes any connector of its pair.
                 let (x1, x2, x3) = (v1[i], v1[j], v1[k]);
                 if let (Some(y12), Some(y23)) = (a.first(), b.first()) {
+                    // PROVABLY: every pair-connector set was checked nonempty when this triple was selected.
                     let y31 = c31.first().expect("checked nonempty");
                     return Some(vec![x1, y12, x2, y23, x3, y31]);
                 }
                 if let (Some(y23), Some(y31)) = (b.first(), d.first()) {
+                    // PROVABLY: every pair-connector set was checked nonempty when this triple was selected.
                     let y12 = c12.first().expect("checked nonempty");
                     return Some(vec![x1, y12, x2, y23, x3, y31]);
                 }
                 if let (Some(y12), Some(y31)) = (a.first(), d.first()) {
+                    // PROVABLY: every pair-connector set was checked nonempty when this triple was selected.
                     let y23 = c23.first().expect("checked nonempty");
                     return Some(vec![x1, y12, x2, y23, x3, y31]);
                 }
@@ -123,6 +126,7 @@ pub fn is_six_two_chordal_blockwise(bg: &BipartiteGraph) -> bool {
             .map(|&p| bg.side(p))
             .collect::<Vec<_>>();
         let sub_bg = mcc_graph::BipartiteGraph::new(sub.graph, side)
+            // PROVABLY: an induced subgraph of a bipartite graph keeps a valid 2-coloring.
             .expect("induced subgraph of a bipartite graph is bipartite");
         if !is_six_two_chordal(&sub_bg) {
             return false;

@@ -22,6 +22,7 @@ pub fn hypergraph_of_witness_side(bg: &BipartiteGraph, witness_side: Side) -> Hy
         Side::V1 => bg.swap_sides(),
     };
     let cleaned = drop_isolated_v2(&oriented);
+    // PROVABLY: `h1_of_bipartite` fails only on isolated V2 nodes, just dropped.
     let (h, _, _) = h1_of_bipartite(&cleaned).expect("isolated edge-side nodes dropped");
     h
 }
@@ -45,6 +46,7 @@ pub fn find_vi_conformality_violation(
         Side::V1 => bg.swap_sides(),
     };
     let cleaned = drop_isolated_v2(&oriented);
+    // PROVABLY: `h1_of_bipartite` fails only on isolated V2 nodes, just dropped.
     let (h, node_map, _) = h1_of_bipartite(&cleaned).expect("isolated edge-side nodes dropped");
     let violation = mcc_hypergraph::conformal::find_conformality_violation(&h)?;
     // h node → cleaned id → original id (cleaning preserves node order,

@@ -1,0 +1,64 @@
+//! Negative tests for the PEO correctness certificate: corrupted
+//! orderings must be rejected, by both the definitional debug checker
+//! ([`mcc_chordality::check_peo`]) and the production deferred check —
+//! the point of keeping two independent implementations is that a bug
+//! in either shows up as a disagreement here.
+
+use mcc_chordality::{check_peo, is_perfect_elimination_ordering, mcs_order};
+use mcc_graph::builder::graph_from_edges;
+use mcc_graph::Graph;
+use proptest::prelude::*;
+
+/// A random tree on `3..=10` nodes by random attachment (node `i ≥ 1`
+/// picks a parent `< i`). Trees are chordal, so a reversed MCS order is
+/// always a valid PEO — the known-good certificate the test corrupts.
+fn random_tree() -> impl Strategy<Value = Graph> {
+    (3usize..=10).prop_flat_map(|n| {
+        proptest::collection::vec(0usize..n, n - 1).prop_map(move |parents| {
+            let edges: Vec<(usize, usize)> = (1..n).map(|i| (i, parents[i - 1] % i)).collect();
+            graph_from_edges(n, &edges)
+        })
+    })
+}
+
+proptest! {
+    /// Transposing an internal node to the front of a valid PEO breaks
+    /// it: the node's ≥ 2 neighbors all become later neighbors, and in a
+    /// tree they are pairwise non-adjacent (no triangles) — not a clique.
+    #[test]
+    fn transposed_peo_pair_is_rejected(g in random_tree()) {
+        let mut order = mcs_order(&g);
+        order.reverse();
+        prop_assert!(check_peo(&g, &order), "reversed MCS order of a tree must be a PEO");
+        prop_assert!(is_perfect_elimination_ordering(&g, &order));
+
+        // Every tree on >= 3 nodes has an internal node, and no valid PEO
+        // starts with one — so the swap below is a genuine transposition.
+        let v = g
+            .nodes()
+            .find(|&v| g.degree(v) >= 2)
+            .expect("a tree on >= 3 nodes has an internal node");
+        let pos = order.iter().position(|&u| u == v).expect("order is a permutation");
+        prop_assert!(pos > 0, "a valid PEO of a tree cannot start with an internal node");
+        order.swap(0, pos);
+
+        prop_assert!(!check_peo(&g, &order), "corrupted order accepted by check_peo");
+        prop_assert!(
+            !is_perfect_elimination_ordering(&g, &order),
+            "corrupted order accepted by the deferred check"
+        );
+    }
+
+    /// Truncations and duplications (non-permutations) are rejected too.
+    #[test]
+    fn non_permutations_are_rejected(g in random_tree()) {
+        let mut order = mcs_order(&g);
+        order.reverse();
+        let mut truncated = order.clone();
+        truncated.pop();
+        prop_assert!(!check_peo(&g, &truncated));
+        let mut duplicated = order;
+        duplicated[0] = duplicated[1];
+        prop_assert!(!check_peo(&g, &duplicated));
+    }
+}

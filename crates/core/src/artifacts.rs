@@ -56,6 +56,7 @@ impl SchemaArtifacts {
     /// of recognizer scratch buffers across schemas.
     pub fn build_in(ws: &mut Workspace, bg: BipartiteGraph) -> Self {
         let classification = classify_bipartite_in(ws, &bg);
+        // lint:allow(hot-path-alloc): registration-time output buffer, built once per schema rather than per query.
         let mut elimination_order = Vec::new();
         mcs_order_in(ws, bg.graph(), &mut elimination_order);
         let lemma1_v2 = if classification.pseudo_steiner_v2_polynomial() {

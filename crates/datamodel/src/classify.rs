@@ -94,7 +94,7 @@ pub fn apply_repair_suggestion(
                 out.attributes
                     .iter()
                     .position(|x| x == a)
-                    // Provable: `repair_suggestion` is built by
+                    // PROVABLY: `repair_suggestion` is built by
                     // `audit_relational` from this very attribute list,
                     // and repairs only append relations, never attributes.
                     .expect("repair names come from the same schema")

@@ -145,7 +145,7 @@ impl ErSchema {
                 }
                 let av = attr_node(&mut b, &mut kind, &mut by_name, a);
                 by_name.insert(a, av);
-                // Provable: `ev` and `av` both came from this builder's
+                // PROVABLY: `ev` and `av` both came from this builder's
                 // `add_node`, so the only failure mode (out-of-range id)
                 // cannot occur.
                 b.add_edge(ev, av).expect("fresh ids");
@@ -169,7 +169,7 @@ impl ErSchema {
                         entity: en.clone(),
                     });
                 };
-                // Provable: both ids were minted by this builder above.
+                // PROVABLY: both ids were minted by this builder above.
                 b.add_edge(rv, ev).expect("ids valid");
             }
             for a in &rl.attributes {
@@ -178,7 +178,7 @@ impl ErSchema {
                 }
                 let av = attr_node(&mut b, &mut kind, &mut by_name, a);
                 by_name.insert(a, av);
-                // Provable: both ids were minted by this builder above.
+                // PROVABLY: both ids were minted by this builder above.
                 b.add_edge(rv, av).expect("ids valid");
             }
         }

@@ -72,6 +72,17 @@ struct Slot {
     artifacts: Option<Arc<SchemaArtifacts>>,
 }
 
+/// Debug-build coherence certificate for a cache slot: the stored
+/// fingerprint matches the stored schema (they are only ever set
+/// together, so a mismatch means a torn update), and the slot's
+/// generation has not moved backwards relative to a generation the
+/// caller observed earlier (generations are bump-only). Invoked through
+/// `debug_assert!` at the rebuild-commit and mutation points; compiled
+/// out of release builds.
+fn check_cache_coherence(slot: &Slot, observed_generation: u64) -> bool {
+    slot.fingerprint == slot.schema.fingerprint() && slot.generation >= observed_generation
+}
+
 /// The shared, thread-safe artifact cache. See the module docs for the
 /// keying/invalidation contract. All methods take `&self`; the cache is
 /// `Sync` and meant to live in an `Arc` shared by every worker (and
@@ -121,6 +132,10 @@ impl SchemaArtifactCache {
             generation: 0,
             artifacts: Some(artifacts),
         });
+        debug_assert!(
+            slots.last().is_some_and(|s| check_cache_coherence(s, 0)),
+            "registration created an incoherent slot"
+        );
         Ok(SchemaId(slots.len() - 1))
     }
 
@@ -133,10 +148,15 @@ impl SchemaArtifactCache {
         schema.to_bipartite().map_err(CacheError::Schema)?;
         let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
         let slot = slots.get_mut(id.0).ok_or(CacheError::UnknownSchema(id))?;
+        let observed = slot.generation;
         slot.fingerprint = schema.fingerprint();
         slot.schema = Arc::new(schema);
         slot.generation += 1;
         slot.artifacts = None;
+        debug_assert!(
+            check_cache_coherence(slot, observed + 1),
+            "replace left an incoherent slot"
+        );
         Ok(())
     }
 
@@ -183,6 +203,12 @@ impl SchemaArtifactCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
         let slot = slots.get_mut(id.0).ok_or(CacheError::UnknownSchema(id))?;
+        // Generations never move backwards, even across the unlocked
+        // rebuild window (debug-build certificate).
+        debug_assert!(
+            check_cache_coherence(slot, generation),
+            "slot regressed behind an observed generation during rebuild"
+        );
         if slot.generation == generation {
             if slot.artifacts.is_none() {
                 slot.artifacts = Some(Arc::clone(&built));

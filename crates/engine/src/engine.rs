@@ -23,9 +23,10 @@
 use crate::cache::{SchemaArtifactCache, SchemaId};
 use crate::request::{EngineError, QueryKind, QueryRequest, Rejected, Response, Ticket};
 use crate::stats::{Counters, EngineStats};
-use mcc::{Solver, SolverConfig};
-use mcc_graph::NodeSet;
+use mcc::{SolveError, Solver, SolverConfig};
+use mcc_graph::{NodeSet, Stage};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
@@ -132,6 +133,7 @@ impl Engine {
                 thread::Builder::new()
                     .name(format!("mcc-engine-worker-{i}"))
                     .spawn(move || worker_loop(&shared, solver_config))
+                    // lint:allow(no-panic): spawn failure during construction is fatal by design -- no engine exists yet to surface an error through.
                     .expect("spawning an engine worker thread")
             })
             .collect();
@@ -276,6 +278,10 @@ fn worker_loop(shared: &Shared, solver_config: SolverConfig) {
     loop {
         let job = {
             let mut q = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            // Condvar discipline: re-check the predicate (job available or
+            // shutdown) on every wakeup — `Condvar::wait` may wake
+            // spuriously, and `notify_one` may race a worker that grabbed
+            // the job on its own.
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break Some(job);
@@ -290,7 +296,31 @@ fn worker_loop(shared: &Shared, solver_config: SolverConfig) {
             }
         };
         let Some(job) = job else { return };
-        let result = serve(shared, &mut solvers, solver_config, &job.request);
+        // Panic isolation: a panicking solve must cost one query, not the
+        // worker — a dead worker stops draining the queue and breaks the
+        // shutdown guarantee that every admitted request is answered. No
+        // lock is held across `serve`, so nothing is poisoned; the
+        // per-thread solver table may hold a half-updated solver, so it
+        // is discarded wholesale and lazily rebuilt from the shared
+        // artifact cache.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve(shared, &mut solvers, solver_config, &job.request)
+        }));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                solvers.clear();
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(EngineError::Solve(SolveError::Internal {
+                    stage: Stage::Session,
+                    detail: format!("solve panicked: {detail}"),
+                }))
+            }
+        };
         match &result {
             Ok(sol) => {
                 shared.counters.solved.fetch_add(1, Ordering::Relaxed);
@@ -316,6 +346,15 @@ fn serve(
     solver_config: SolverConfig,
     request: &QueryRequest,
 ) -> Response {
+    // Test-only fault injection: a reserved object name panics inside the
+    // serve path, letting the isolation regression test exercise the
+    // worker's catch_unwind without a real solver bug.
+    #[cfg(test)]
+    {
+        if request.objects.iter().any(|o| o == "__mcc_engine_panic__") {
+            panic!("injected panic (worker isolation test)");
+        }
+    }
     let cached = shared
         .cache
         .artifacts(request.schema)
@@ -460,6 +499,37 @@ mod tests {
             .unwrap()
             .wait();
         assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn worker_panic_does_not_wedge_shutdown() {
+        // One worker: if the panic killed it, nothing could drain the
+        // queue and the follow-up request (and shutdown) would hang.
+        let engine = Engine::new(EngineConfig::with_workers(1));
+        let id = engine.register(acyclic()).unwrap();
+        let poisoned = engine
+            .submit(QueryRequest::steiner(id, &["__mcc_engine_panic__"]))
+            .unwrap();
+        let err = poisoned.wait().unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                EngineError::Solve(SolveError::Internal { stage, detail })
+                    if *stage == Stage::Session && detail.contains("panicked")
+            ),
+            "expected an isolated internal error, got {err:?}"
+        );
+        // The same (sole) worker is still alive and serving.
+        let ok = engine
+            .submit(QueryRequest::steiner(id, &["name", "budget"]))
+            .unwrap()
+            .wait();
+        assert!(ok.is_ok());
+        let stats = engine.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.solved, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.queue_depth, 0);
     }
 
     #[test]

@@ -83,10 +83,12 @@ pub fn random_six_two_block_tree(shape: BlockTreeShape, seed: u64) -> BipartiteG
         }
         for &x in &left {
             for &y in &right {
+                // PROVABLY: block members were minted by this builder above.
                 b.add_edge(x, y).expect("ids valid");
             }
         }
     }
+    // PROVABLY: every block edge joins the two sides assigned above.
     BipartiteGraph::new(b.build(), side).expect("blocks respect sides")
 }
 

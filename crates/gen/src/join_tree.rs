@@ -70,6 +70,7 @@ pub fn random_alpha_acyclic(shape: JoinTreeShape, seed: u64) -> (Hypergraph, Bip
         }
         debug_assert!(!members.is_empty(), "share ≥ 1 whenever a parent exists");
         b.add_edge(format!("R{}", e + 1), members.clone())
+            // PROVABLY: `members` holds at least the attributes shared with the parent (share >= 1).
             .expect("nonempty edge");
         edges.push(members);
     }

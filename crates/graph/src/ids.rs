@@ -25,6 +25,7 @@ impl NodeId {
     /// Panics if `index` does not fit in `u32`.
     #[inline]
     pub fn from_index(index: usize) -> Self {
+        // lint:allow(no-panic): the `# Panics` contract above is the documented API; graphs beyond u32 nodes are unsupported.
         NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
     }
 }

@@ -89,6 +89,7 @@ pub fn hypergraph_from_lists(node_labels: &[&str], edges: &[(&str, &[usize])]) -
     }
     for (label, members) in edges {
         b.add_edge(*label, members.iter().map(|&i| NodeId::from_index(i)))
+            // lint:allow(no-panic): static fixture constructor -- malformed compile-time hypergraph data must fail loudly.
             .expect("invalid edge in static hypergraph data");
     }
     b.build()

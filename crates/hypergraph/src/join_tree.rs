@@ -105,6 +105,7 @@ pub fn mcs_edge_ordering(h: &Hypergraph) -> Vec<EdgeId> {
                 best = Some((w, i));
             }
         }
+        // PROVABLY: the outer loop runs while an unused edge remains, so the scan finds one.
         let (_, i) = best.expect("an unused edge remains");
         used[i] = true;
         let e = EdgeId::from_index(i);
@@ -206,10 +207,19 @@ pub fn ear_ordering(h: &Hypergraph) -> Option<JoinTree> {
 /// succeed).
 pub fn running_intersection_ordering(h: &Hypergraph) -> Option<JoinTree> {
     let order = mcs_edge_ordering(h);
-    if let Some(parent) = verify_rip(h, &order) {
-        return Some(JoinTree { order, parent });
-    }
-    ear_ordering(h)
+    let jt = if let Some(parent) = verify_rip(h, &order) {
+        JoinTree { order, parent }
+    } else {
+        ear_ordering(h)?
+    };
+    // Certificate (debug builds only): the incremental RIP construction
+    // must satisfy the pairwise join-tree definition.
+    debug_assert!(
+        h.edge_count() > crate::check::CHECK_JOIN_TREE_MAX_EDGES
+            || crate::check::check_join_tree(h, &jt),
+        "constructed join tree violates the pairwise join-tree property"
+    );
+    Some(jt)
 }
 
 /// Alias with the join-tree reading of the result.

@@ -33,11 +33,16 @@
 //! the recognizers cheap.
 
 #![forbid(unsafe_code)]
+// `clippy::unwrap_used` arrives at warn level from the workspace lint
+// table ([lints] in Cargo.toml), promoted to an error in CI; unit
+// tests are exempt -- tests should unwrap.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod acyclicity;
 pub mod berge;
 pub mod builder;
+pub mod check;
 pub mod conformal;
 pub mod dual;
 pub mod error;
@@ -51,6 +56,7 @@ pub mod repair;
 pub use acyclicity::{is_alpha_acyclic, is_beta_acyclic, is_gamma_acyclic, AcyclicityDegree};
 pub use berge::{find_berge_cycle, find_beta_cycle, find_gamma_cycle, is_berge_acyclic};
 pub use builder::HypergraphBuilder;
+pub use check::{check_join_tree, CHECK_JOIN_TREE_MAX_EDGES};
 pub use conformal::{find_conformality_violation, is_conformal, is_conformal_bruteforce};
 pub use dual::{check_dual_node_ordering, dual, dual_node_ordering};
 pub use error::HypergraphError;

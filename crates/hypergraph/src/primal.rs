@@ -16,6 +16,7 @@ pub fn primal_graph(h: &Hypergraph) -> Graph {
         for i in 0..members.len() {
             for j in (i + 1)..members.len() {
                 b.add_edge(members[i], members[j])
+                    // PROVABLY: hyperedge members are valid node ids of the same hypergraph.
                     .expect("members are valid nodes");
             }
         }

@@ -82,10 +82,12 @@ pub fn apply_repair(h: &Hypergraph, repair: &AlphaRepair) -> Hypergraph {
     }
     for e in h.edge_ids() {
         b.add_edge(h.edge_label(e), h.edge(e).iter())
+            // PROVABLY: edges copied from an existing hypergraph are valid and nonempty.
             .expect("existing edges valid");
     }
     for (i, e) in repair.new_edges.iter().enumerate() {
         b.add_edge(format!("fix{}", i + 1), e.iter())
+            // PROVABLY: repair edges are attribute sets the audit verified nonempty.
             .expect("repair edges nonempty");
     }
     b.build()

@@ -1,0 +1,236 @@
+//! `mcc-lint`: the workspace's project-specific static-analysis pass.
+//!
+//! Clippy and rustc enforce language-level hygiene; this crate enforces
+//! *repo*-level invariants that no general-purpose tool knows about —
+//! the tick discipline for wall-clock reads, the `*_in` zero-alloc
+//! hot-path convention, the engine's typed poison-handling requirement,
+//! and the `// PROVABLY:` justification protocol for panicking calls.
+//! Each rule is individually `--allow`-able and has an inline
+//! `// lint:allow(<rule>)` escape hatch; see [`rules::RULES`] for the
+//! catalog.
+//!
+//! The pass is intentionally lexical (see [`lexer`]): it never typechecks
+//! and never needs the network, so it runs in milliseconds on a bare
+//! toolchain and CI can gate on it before anything else builds.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One finding: a rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root (e.g. `crates/core/src/solver.rs`).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule name (one of [`rules::RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Per-file context handed to each rule.
+pub struct FileCtx {
+    /// Workspace-relative path, `/`-separated.
+    pub rel_path: String,
+    /// The crate directory name (e.g. `engine` for `crates/engine`).
+    pub crate_name: String,
+    /// Final path component (e.g. `budget.rs`).
+    pub file_name: String,
+    /// Whether the file belongs to a binary target (`src/bin/**` or
+    /// `src/main.rs`).
+    pub is_binary: bool,
+}
+
+impl FileCtx {
+    /// Builds a diagnostic at 0-based `line` (stored 1-based).
+    pub fn diag(&self, line: usize, rule: &'static str, message: &str) -> Diagnostic {
+        Diagnostic {
+            file: self.rel_path.clone(),
+            line: line + 1,
+            rule,
+            message: message.to_string(),
+        }
+    }
+}
+
+/// What to run and what to suppress.
+pub struct Config {
+    /// Directory containing the crate subdirectories (normally
+    /// `<workspace>/crates`).
+    pub crates_dir: PathBuf,
+    /// Rules disabled wholesale via `--allow`.
+    pub allow: BTreeSet<String>,
+}
+
+/// Runs every enabled rule over every `crates/*/src` file under
+/// `config.crates_dir`. Diagnostics come back sorted by (file, line,
+/// rule). I/O errors (unreadable dirs/files) are reported as `Err`.
+pub fn run(config: &Config) -> Result<Vec<Diagnostic>, String> {
+    let mut out = Vec::new();
+    let mut crates: Vec<PathBuf> = read_dir_sorted(&config.crates_dir)?
+        .into_iter()
+        .filter(|p| p.is_dir())
+        .collect();
+    crates.sort();
+    for krate in &crates {
+        let src = krate.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let crate_name = file_name_of(krate);
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        let has_lib = src.join("lib.rs").is_file();
+        for path in &files {
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+            let analysis = lexer::analyze(&text);
+            let ctx = file_ctx(path, &config.crates_dir, &crate_name);
+            let is_lib_root = has_lib && ctx.file_name == "lib.rs" && !ctx.is_binary;
+
+            let enabled = |rule: &str| !config.allow.contains(rule);
+            if is_lib_root && enabled("forbid-unsafe") {
+                rules::forbid_unsafe(&ctx, &analysis, &mut out);
+            }
+            if enabled("no-panic") {
+                rules::no_panic(&ctx, &analysis, &mut out);
+            }
+            if enabled("no-wall-clock") {
+                rules::no_wall_clock(&ctx, &analysis, &mut out);
+            }
+            if enabled("hot-path-alloc") {
+                rules::hot_path_alloc(&ctx, &analysis, &mut out);
+            }
+            if enabled("engine-lock-unwrap") {
+                rules::engine_lock_unwrap(&ctx, &analysis, &mut out);
+            }
+            if enabled("missing-docs") {
+                rules::missing_docs(&ctx, &analysis, &mut out);
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(out)
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for path in read_dir_sorted(dir)? {
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn file_name_of(path: &Path) -> String {
+    path.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn file_ctx(path: &Path, crates_dir: &Path, crate_name: &str) -> FileCtx {
+    let rel = path.strip_prefix(crates_dir).unwrap_or(path);
+    let rel_path = {
+        let mut s = String::from("crates");
+        for comp in rel.components() {
+            s.push('/');
+            s.push_str(&comp.as_os_str().to_string_lossy());
+        }
+        s
+    };
+    let file_name = file_name_of(path);
+    let is_binary = rel_path.contains("/src/bin/") || file_name == "main.rs";
+    FileCtx {
+        rel_path,
+        crate_name: crate_name.to_string(),
+        file_name,
+        is_binary,
+    }
+}
+
+/// Resolves the workspace root: an explicit `--root`, else the nearest
+/// ancestor of `cwd` holding a `Cargo.toml` with a `[workspace]` table,
+/// else the compile-time location of this crate's workspace.
+pub fn resolve_root(explicit: Option<&str>) -> PathBuf {
+    if let Some(root) = explicit {
+        return PathBuf::from(root);
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    // Fallback: crates/lint/../..
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .components()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_render_as_file_line_rule() {
+        let d = Diagnostic {
+            file: "crates/core/src/solver.rs".into(),
+            line: 42,
+            rule: "no-panic",
+            message: "boom".into(),
+        };
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/solver.rs:42: [no-panic] boom"
+        );
+    }
+
+    #[test]
+    fn resolve_root_finds_this_workspace() {
+        let root = resolve_root(None);
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/lint").is_dir());
+    }
+}

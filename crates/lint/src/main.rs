@@ -1,0 +1,78 @@
+//! `mcc-lint` CLI — run the workspace static-analysis pass.
+//!
+//! ```text
+//! mcc-lint [--root DIR] [--allow RULE]... [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error.
+
+use std::collections::BTreeSet;
+use std::process::ExitCode;
+
+use mcc_lint::{resolve_root, rules, Config};
+
+fn main() -> ExitCode {
+    let mut root: Option<String> = None;
+    let mut allow: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => {
+                for (name, desc) in rules::RULES {
+                    println!("{name:20} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(dir) => root = Some(dir),
+                None => return usage("--root requires a directory"),
+            },
+            "--allow" => match args.next() {
+                Some(rule) => {
+                    if !rules::RULES.iter().any(|(name, _)| *name == rule) {
+                        return usage(&format!("unknown rule `{rule}` (see --list-rules)"));
+                    }
+                    allow.insert(rule);
+                }
+                None => return usage("--allow requires a rule name"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "mcc-lint [--root DIR] [--allow RULE]... [--list-rules]\n\
+                     Workspace static analysis: repo invariants as machine-checked rules."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = resolve_root(root.as_deref());
+    let config = Config {
+        crates_dir: root.join("crates"),
+        allow,
+    };
+    match mcc_lint::run(&config) {
+        Ok(diags) if diags.is_empty() => {
+            println!("mcc-lint: clean ({} rules)", rules::RULES.len());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                eprintln!("{d}");
+            }
+            eprintln!("mcc-lint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("mcc-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("mcc-lint: {msg}");
+    eprintln!("usage: mcc-lint [--root DIR] [--allow RULE]... [--list-rules]");
+    ExitCode::from(2)
+}

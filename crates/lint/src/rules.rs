@@ -1,0 +1,327 @@
+//! The six workspace rules, each a pure function from a lexed file (or
+//! crate) to diagnostics.
+//!
+//! Scoping conventions shared by the rules:
+//!
+//! * "library code" excludes binary targets (`src/bin/**`, `src/main.rs`)
+//!   — binaries are allowed to be chattier;
+//! * test code (`#[cfg(test)]` / `#[test]` regions) is exempt from the
+//!   panic, allocation, and doc rules — tests *should* unwrap;
+//! * every rule honors the inline `// lint:allow(<rule>)` escape hatch on
+//!   the offending line or the comment block directly above it.
+
+use crate::lexer::Analysis;
+use crate::{Diagnostic, FileCtx};
+
+/// Rule names, in the order rules run. Kept in one place so `--allow`
+/// validation and `--list-rules` stay in sync with the implementations.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "forbid-unsafe",
+        "every library crate's lib.rs declares #![forbid(unsafe_code)]",
+    ),
+    (
+        "no-panic",
+        "no unwrap()/expect()/panic!/unreachable! in non-test library code \
+         without a // PROVABLY: justification",
+    ),
+    (
+        "no-wall-clock",
+        "no Instant::now()/SystemTime::now() outside CancelToken/budget code \
+         (tick discipline)",
+    ),
+    (
+        "hot-path-alloc",
+        "no Vec::new/Box::new/to_vec/collect inside *_in functions \
+         (zero-alloc hot-path convention)",
+    ),
+    (
+        "engine-lock-unwrap",
+        "no lock().unwrap() in crates/engine — handle PoisonError explicitly",
+    ),
+    (
+        "missing-docs",
+        "every pub item in crates/{core,engine,datamodel} carries a doc comment",
+    ),
+];
+
+/// Rule 1: the crate's `lib.rs` must carry `#![forbid(unsafe_code)]`.
+///
+/// Runs once per crate (on `lib.rs` only); crates without a `lib.rs`
+/// (pure binaries) are skipped by the caller.
+pub fn forbid_unsafe(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    let toks = &a.tokens;
+    let found = toks.windows(4).any(|w| {
+        w[0].text == "forbid" && w[1].text == "(" && w[2].text == "unsafe_code" && w[3].text == ")"
+    });
+    if !found {
+        out.push(ctx.diag(
+            0,
+            "forbid-unsafe",
+            "library crate does not declare #![forbid(unsafe_code)] in lib.rs",
+        ));
+    }
+}
+
+/// Rule 2: panicking constructs need a `// PROVABLY:` justification.
+pub fn no_panic(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    if ctx.is_binary {
+        return;
+    }
+    let toks = &a.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if a.is_test_line(t.line) {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            // `.unwrap(` / `.expect(` — method calls only, so idents named
+            // e.g. `expect` in other positions don't trip the rule.
+            "unwrap" | "expect" => {
+                i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+            }
+            // `panic!` / `unreachable!` — macro invocations only, so
+            // `std::panic::catch_unwind` stays legal.
+            "panic" | "unreachable" => toks.get(i + 1).map(|n| n.text.as_str()) == Some("!"),
+            _ => false,
+        };
+        if hit && !a.provably_at(t.line) && !a.allowed_at(t.line, "no-panic") {
+            out.push(ctx.diag(
+                t.line,
+                "no-panic",
+                &format!(
+                    "`{}` in non-test library code without a // PROVABLY: justification",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 3: wall-clock reads are confined to the budget/cancellation layer.
+pub fn no_wall_clock(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    // The tick discipline lives in `CancelToken` (crates/graph budget.rs);
+    // benches measure wall time by definition.
+    if ctx.crate_name == "bench" || ctx.file_name.contains("budget") {
+        return;
+    }
+    let toks = &a.tokens;
+    for w in toks.windows(3) {
+        let t = &w[0];
+        if a.is_test_line(t.line) {
+            continue;
+        }
+        if (t.text == "Instant" || t.text == "SystemTime")
+            && w[1].text == "::"
+            && w[2].text == "now"
+            && !a.allowed_at(t.line, "no-wall-clock")
+        {
+            out.push(ctx.diag(
+                t.line,
+                "no-wall-clock",
+                &format!(
+                    "`{}::now()` outside CancelToken/budget code breaks the tick discipline",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 4: functions named `*_in` are the zero-alloc hot paths — no
+/// allocating calls inside them.
+pub fn hot_path_alloc(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    if ctx.is_binary {
+        return;
+    }
+    let toks = &a.tokens;
+    // Stack of (fn-name-is-hot, brace-depth-at-body-open); we flag
+    // allocations whenever any enclosing fn is a `*_in`.
+    let mut stack: Vec<(bool, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending: Option<bool> = None; // saw `fn name`, waiting for its `{`
+    let mut sig_depth = 0usize; // paren/bracket nesting inside the signature
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.text.as_str() {
+            "fn" => {
+                if let Some(name) = toks.get(i + 1) {
+                    pending = Some(name.text.ends_with("_in"));
+                    sig_depth = 0;
+                }
+            }
+            "(" | "[" if pending.is_some() => sig_depth += 1,
+            ")" | "]" if pending.is_some() => sig_depth = sig_depth.saturating_sub(1),
+            // A `;` at signature level before the body terminates the
+            // item (trait method declarations); `;` inside parens or
+            // brackets (array types like `[u32; 4]`) does not.
+            ";" if sig_depth == 0 => pending = None,
+            "{" => {
+                depth += 1;
+                if let Some(hot) = pending.take() {
+                    stack.push((hot, depth));
+                }
+            }
+            "}" => {
+                if stack.last().is_some_and(|s| s.1 == depth) {
+                    stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+        let in_hot = stack.iter().any(|s| s.0);
+        if in_hot && !a.is_test_line(t.line) {
+            let alloc = match t.text.as_str() {
+                "Vec" | "Box" => {
+                    toks.get(i + 1).map(|n| n.text.as_str()) == Some("::")
+                        && toks.get(i + 2).map(|n| n.text.as_str()) == Some("new")
+                }
+                "to_vec" | "collect" => i > 0 && toks[i - 1].text == ".",
+                _ => false,
+            };
+            if alloc && !a.allowed_at(t.line, "hot-path-alloc") {
+                let what = match t.text.as_str() {
+                    "Vec" | "Box" => format!("{}::new", t.text),
+                    other => other.to_string(),
+                };
+                out.push(ctx.diag(
+                    t.line,
+                    "hot-path-alloc",
+                    &format!("`{what}` allocates inside a `*_in` zero-alloc hot path"),
+                ));
+                // Skip the `::new` tokens so one call yields one diagnostic.
+                if t.text == "Vec" || t.text == "Box" {
+                    i += 2;
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+/// Rule 5: in `crates/engine`, lock acquisition must go through the typed
+/// poison-handling path, never `.unwrap()`.
+pub fn engine_lock_unwrap(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    if ctx.crate_name != "engine" {
+        return;
+    }
+    const LOCKISH: &[&str] = &["lock", "read", "write", "wait", "wait_timeout", "try_lock"];
+    let toks = &a.tokens;
+    for i in 2..toks.len() {
+        if toks[i].text != "unwrap"
+            || toks[i - 1].text != "."
+            || toks.get(i + 1).map(|n| n.text.as_str()) != Some("(")
+        {
+            continue;
+        }
+        if a.is_test_line(toks[i].line) {
+            continue;
+        }
+        // Receiver must be a call: `)` right before the `.`; match back to
+        // its `(` and look at the callee name.
+        if toks[i - 2].text != ")" {
+            continue;
+        }
+        let mut depth = 0usize;
+        let mut j = i - 2;
+        let callee = loop {
+            match toks[j].text.as_str() {
+                ")" => depth += 1,
+                "(" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break j.checked_sub(1).map(|k| toks[k].text.as_str());
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                break None;
+            }
+            j -= 1;
+        };
+        if let Some(name) = callee {
+            if LOCKISH.contains(&name) && !a.allowed_at(toks[i].line, "engine-lock-unwrap") {
+                out.push(ctx.diag(
+                    toks[i].line,
+                    "engine-lock-unwrap",
+                    &format!(
+                        "`{name}().unwrap()` in crates/engine — use the PoisonError \
+                         recovery path (unwrap_or_else(PoisonError::into_inner))"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Rule 6: public API in the user-facing crates must be documented.
+pub fn missing_docs(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    if ctx.is_binary || !matches!(ctx.crate_name.as_str(), "core" | "engine" | "datamodel") {
+        return;
+    }
+    // Item keywords that can follow `pub` (modifiers like async/unsafe/
+    // extern/const fold in: whatever follows is still an item head).
+    const ITEM: &[&str] = &[
+        "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union", "async",
+        "unsafe", "extern",
+    ];
+    let toks = &a.tokens;
+    let sanitized_lines: Vec<&str> = a.sanitized.split('\n').collect();
+    for i in 0..toks.len() {
+        if toks[i].text != "pub" {
+            continue;
+        }
+        let line = toks[i].line;
+        if a.is_test_line(line) || a.allowed_at(line, "missing-docs") {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        // `pub(crate)` / `pub(super)` are not public API; `pub use`
+        // re-exports inherit the original item's docs.
+        if next.text == "(" || next.text == "use" {
+            continue;
+        }
+        if !ITEM.contains(&next.text.as_str()) {
+            continue; // struct fields (`pub name:`) and the like
+        }
+        // Walk upward over the item's attributes and doc comments; finding
+        // any doc line (or a #[doc(...)] attribute) satisfies the rule.
+        let mut documented = a.lines[line].doc;
+        let mut hidden = false;
+        let mut l = line;
+        while l > 0 {
+            let info = &a.lines[l - 1];
+            if info.doc {
+                documented = true;
+            } else if info.attr {
+                let text = sanitized_lines.get(l - 1).copied().unwrap_or("");
+                if text.contains("doc") {
+                    documented = true;
+                    if text.contains("hidden") {
+                        hidden = true;
+                    }
+                }
+            } else {
+                break;
+            }
+            l -= 1;
+        }
+        if !documented && !hidden {
+            out.push(ctx.diag(
+                line,
+                "missing-docs",
+                &format!(
+                    "undocumented `pub {}` — public API in {} requires a doc comment",
+                    next.text, ctx.crate_name
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture crate named `core`: exercises the crate-scoped
+//! `missing-docs` rule. Never compiled — only lexed.
+#![forbid(unsafe_code)]
+
+/// Documented: no diagnostic.
+pub fn documented() {}
+
+pub fn undocumented() {}
+
+/// Documented struct; its `pub` fields are not items and need no docs.
+pub struct Widget {
+    pub id: u32,
+}
+
+#[doc(hidden)]
+pub fn hidden_api() {}
+
+// lint:allow(missing-docs): fixture exercises the escape hatch.
+pub fn allowed_undocumented() {}
+
+pub(crate) fn internal() {}

@@ -1,0 +1,22 @@
+//! Fixture crate named `engine`: exercises the crate-scoped
+//! `engine-lock-unwrap` rule. Never compiled — only lexed.
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex, PoisonError};
+
+/// Violation (engine-lock-unwrap, and no-panic): an unwrapped lock.
+pub fn bad_lock(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+
+/// Exempt: the typed poison-recovery path this workspace prefers.
+pub fn good_lock(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Exempt: both escape hatches on one site.
+pub fn allowed_lock(m: &Mutex<u32>) -> u32 {
+    // lint:allow(engine-lock-unwrap): fixture exercises the escape hatch.
+    // PROVABLY: this fixture is never compiled, let alone poisoned.
+    *m.lock().unwrap()
+}

@@ -1,0 +1,4 @@
+//! Fixture crate whose lib.rs is missing `#![forbid(unsafe_code)]`
+//! entirely — the `forbid-unsafe` rule reports it at line 1.
+
+fn innocuous() {}

@@ -1,0 +1,5 @@
+//! Fixture `src/bin` binary: also exempt from the panic rules.
+
+fn main() {
+    Some(1u32).unwrap();
+}

@@ -1,0 +1,55 @@
+//! Fixture crate for the generic rules: one seeded violation per rule
+//! plus the matching exemptions. Never compiled — only lexed by the
+//! fixture tests, which assert exact file:line:rule locations.
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+/// Violation (no-panic): a naked unwrap in non-test library code.
+pub fn naked_unwrap(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Exempt: a justified unwrap.
+pub fn justified_unwrap(x: Option<u32>) -> u32 {
+    // PROVABLY: every caller in this fixture passes Some.
+    x.unwrap()
+}
+
+/// Exempt: the escape hatch.
+pub fn allowed_panic() {
+    // lint:allow(no-panic): fixture exercises the escape hatch.
+    panic!("allowed");
+}
+
+/// Violation (no-wall-clock): a wall-clock read outside budget code.
+pub fn reads_clock() -> Instant {
+    Instant::now()
+}
+
+/// Exempt: the escape hatch.
+pub fn allowed_clock() -> Instant {
+    // lint:allow(no-wall-clock): fixture exercises the escape hatch.
+    Instant::now()
+}
+
+/// Violation (hot-path-alloc): an allocation inside a `*_in` hot path.
+pub fn fill_in(out: &mut Vec<u32>) {
+    let extra: Vec<u32> = Vec::new();
+    out.extend(extra);
+}
+
+/// Exempt: the same allocation outside a hot path.
+pub fn fill(out: &mut Vec<u32>) {
+    let extra: Vec<u32> = Vec::new();
+    out.extend(extra);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwraps_in_tests_are_fine() {
+        Some(1u32).unwrap();
+        let _: Vec<u32> = [1u32].iter().copied().collect();
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture binary: the panic and hot-path-alloc rules do not apply to
+//! binary entry points.
+
+fn main() {
+    println!("{}", std::env::args().next().unwrap());
+}

@@ -46,7 +46,9 @@ impl CspcGadget {
         let mut arc_nodes = Vec::with_capacity(arcs.len());
         for (i, &(a, c)) in arcs.iter().enumerate() {
             let u = b.add_node(format!("a{}", i + 1));
+            // PROVABLY: `a` is a node id of the embedded source graph.
             b.add_edge(u, a).expect("source ids valid");
+            // PROVABLY: `c` is a node id of the embedded source graph.
             b.add_edge(u, c).expect("source ids valid");
             arc_nodes.push(u);
         }
@@ -54,6 +56,7 @@ impl CspcGadget {
         let side: Vec<Side> = (0..g.node_count())
             .map(|i| if i < n { Side::V1 } else { Side::V2 })
             .collect();
+        // PROVABLY: arc nodes connect only to source nodes, so the incidence graph is bipartite.
         let graph = BipartiteGraph::new(g, side).expect("incidence graphs are bipartite");
         CspcGadget {
             source: source.clone(),

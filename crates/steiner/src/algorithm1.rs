@@ -84,6 +84,7 @@ pub struct Lemma1Ordering {
 /// Algorithm 1's optimality guarantee is void.
 pub fn lemma1_ordering(bg: &BipartiteGraph) -> Option<Lemma1Ordering> {
     let cleaned = drop_isolated_v2(bg);
+    // PROVABLY: `h1_of_bipartite` fails only on isolated V2 nodes, just dropped.
     let (h1, _node_map, edge_map) = h1_of_bipartite(&cleaned).expect("isolated V2 nodes dropped");
     let jt = running_intersection_ordering(&h1)?;
     // Edge ids of H¹ → V2 node ids in `cleaned` → ids in `bg`. The
@@ -96,10 +97,40 @@ pub fn lemma1_ordering(bg: &BipartiteGraph) -> Option<Lemma1Ordering> {
         .map(|e| cleaned_to_orig[edge_map[e.index()].index()])
         .collect();
     order.reverse();
+    // Certificate (debug builds only): the reversed RIP ordering must
+    // satisfy the two Lemma 1 properties it was constructed to provide.
+    debug_assert!(
+        check_lemma1_order(bg, &order),
+        "reversed running-intersection ordering fails the Lemma 1 certificate"
+    );
     Some(Lemma1Ordering {
         order,
         join_tree: jt,
     })
+}
+
+/// Largest graph the debug-build Lemma 1 certificate runs on;
+/// [`check_lemma1_order`] skips (returns `true`) above this — the
+/// literal verification is `O(q·(|V| + |A|))` with allocations and
+/// exists for debug cross-validation, not production-scale inputs.
+pub const CHECK_LEMMA1_MAX_NODES: usize = 256;
+
+/// Debug-build certificate for [`lemma1_ordering`]: runs
+/// [`verify_lemma1_ordering`] behind the [`CHECK_LEMMA1_MAX_NODES`] size
+/// cap, and skips disconnected graphs (the Lemma 1 properties are stated
+/// for connected bipartite graphs; `lemma1_ordering` itself is happy to
+/// order a disconnected graph's components jointly, which Algorithm 1
+/// then restricts to the terminals' component).
+pub fn check_lemma1_order(bg: &BipartiteGraph, ordering: &[NodeId]) -> bool {
+    let g = bg.graph();
+    let n = g.node_count();
+    if n > CHECK_LEMMA1_MAX_NODES {
+        return true;
+    }
+    if !mcc_graph::is_connected_within(g, &NodeSet::full(n)) {
+        return true;
+    }
+    verify_lemma1_ordering(bg, ordering)
 }
 
 /// Output of Algorithm 1: the pseudo-Steiner tree plus the elimination
@@ -145,6 +176,7 @@ pub fn algorithm1_in(
         Ok(out) => Ok(out),
         Err(SolveError::Disconnected) => Err(Algorithm1Error::Infeasible),
         Err(SolveError::NotAlphaAcyclic) => Err(Algorithm1Error::NotAlphaAcyclic),
+        // lint:allow(no-panic): unbudgeted wrapper -- the unlimited budget cannot be exceeded, so residual errors are internal bugs; `algorithm1_budgeted_in` is the production path.
         Err(e) => panic!("unbudgeted Algorithm 1 failed: {e}"),
     }
 }
@@ -217,6 +249,7 @@ fn algorithm1_dispatch(
         // adjacent to the lone terminal can never be dropped (the terminal
         // would go with it as a private neighbor), yet the singleton tree
         // is plainly V2-minimum. Return it directly.
+        // PROVABLY: this branch handles exactly one terminal.
         let t = terminals.first().expect("nonempty");
         let v2_cost = usize::from(bg.side(t) == Side::V2);
         return Ok(Algorithm1Output {
@@ -230,6 +263,7 @@ fn algorithm1_dispatch(
     }
 
     // Restrict to the component containing the terminals.
+    // PROVABLY: the empty-terminal case returned above.
     let t0 = terminals.first().expect("nonempty");
     let mut full = ws.take_set_buf(n);
     for v in g.nodes() {
@@ -314,6 +348,13 @@ fn algorithm1_dispatch(
             });
         }
     };
+    // Certificate (debug builds only): valid tree, all terminals
+    // connected, nodes drawn from the trimmed alive set.
+    debug_assert!(
+        n > crate::certify::CHECK_STEINER_MAX_NODES
+            || crate::certify::check_steiner_solution(g, &trimmed, terminals, &tree),
+        "Algorithm 1 produced a tree failing its own certificate"
+    );
     let v2_cost = trimmed.intersection(&bg.v2_set()).len();
     ws.return_set_buf(trimmed);
     Ok(Algorithm1Output {

@@ -85,6 +85,7 @@ pub fn algorithm2_with_order_in(
     match algorithm2_budgeted_in(ws, g, terminals, order, &budget, &token) {
         Ok(tree) => Some(tree),
         Err(SolveError::Disconnected) => None,
+        // lint:allow(no-panic): unbudgeted wrapper -- residual errors are internal bugs; `algorithm2_budgeted_in` is the production path.
         Err(e) => panic!("unbudgeted Algorithm 2 failed: {e}"),
     }
 }
@@ -113,6 +114,7 @@ pub fn algorithm2_budgeted_in(
             edges: vec![],
         });
     }
+    // PROVABLY: the empty-terminal case returned above.
     let t0 = terminals.first().expect("nonempty");
     // Start from the component containing the terminals (the rest of the
     // graph is certainly removable; skipping it keeps Step 1 at |C| tests).
@@ -140,6 +142,15 @@ pub fn algorithm2_budgeted_in(
     component_of_in(ws, g, &alive, t0, &mut trimmed);
     ws.return_set_buf(alive);
     let tree = SteinerTree::from_cover(g, &trimmed);
+    // Certificate (debug builds only): valid tree, all terminals
+    // connected, nodes drawn from the trimmed alive set.
+    if let Some(t) = &tree {
+        debug_assert!(
+            n > crate::certify::CHECK_STEINER_MAX_NODES
+                || crate::certify::check_steiner_solution(g, &trimmed, terminals, t),
+            "Algorithm 2 produced a tree failing its own certificate"
+        );
+    }
     ws.return_set_buf(trimmed);
     tree.ok_or_else(|| SolveError::Internal {
         stage: Stage::Algorithm2,

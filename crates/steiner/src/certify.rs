@@ -15,6 +15,30 @@ pub fn tree_side_cost(bg: &BipartiteGraph, tree: &SteinerTree, side: Side) -> us
     tree.nodes.iter().filter(|&v| bg.side(v) == side).count()
 }
 
+/// Largest graph the debug-build solution certificate runs on; the
+/// solver exits skip [`check_steiner_solution`] above this (the tree
+/// validity re-check rebuilds a skeleton graph and is meant for
+/// debug-build cross-validation, not production-scale inputs).
+pub const CHECK_STEINER_MAX_NODES: usize = 512;
+
+/// Full correctness certificate for a solver-produced Steiner tree:
+/// the tree is structurally valid in `g` ([`SteinerTree::is_valid_tree`]),
+/// connects every terminal, and uses only nodes of `alive` (the node set
+/// the solver was allowed to draw from — pass the full node set for
+/// unrestricted solvers).
+///
+/// Solver exits call this through `debug_assert!`, so it runs on every
+/// debug test execution and is compiled out of release builds; the
+/// negative certificate tests call it directly on corrupted solutions.
+pub fn check_steiner_solution(
+    g: &Graph,
+    alive: &NodeSet,
+    terminals: &NodeSet,
+    tree: &SteinerTree,
+) -> bool {
+    terminals.is_subset_of(&tree.nodes) && tree.nodes.is_subset_of(alive) && tree.is_valid_tree(g)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -87,6 +87,7 @@ pub fn steiner_exact_node_weighted(
     match steiner_exact_node_weighted_budgeted(g, terminals, weights, &budget, &token) {
         Ok(sol) => Some(sol),
         Err(SolveError::Disconnected) => None,
+        // lint:allow(no-panic): unbudgeted wrapper -- residual errors are internal bugs; the budgeted twin is the production path.
         Err(e) => panic!("unbudgeted exact solve failed: {e}"),
     }
 }
@@ -235,6 +236,14 @@ pub fn steiner_exact_node_weighted_budgeted(
         nodes.iter().map(|v| weights[v.index()]).sum::<u64>(),
         cost,
         "reconstruction must realize the DP cost"
+    );
+    // Certificate (debug builds only): the reconstructed tree is valid
+    // and connects every terminal (the DP may use any node, so the
+    // alive set is the full universe).
+    debug_assert!(
+        n > crate::certify::CHECK_STEINER_MAX_NODES
+            || crate::certify::check_steiner_solution(g, &NodeSet::full(n), terminals, &tree),
+        "exact DP reconstruction failed its own certificate"
     );
     Ok(ExactSolution { tree, cost })
 }

@@ -49,13 +49,16 @@ pub mod pseudo;
 
 pub use algorithm1::{
     algorithm1, algorithm1_budgeted_in, algorithm1_in, algorithm1_with_ordering_budgeted_in,
-    lemma1_ordering, verify_lemma1_ordering, Algorithm1Error, Lemma1Ordering,
+    check_lemma1_order, lemma1_ordering, verify_lemma1_ordering, Algorithm1Error, Lemma1Ordering,
+    CHECK_LEMMA1_MAX_NODES,
 };
 pub use algorithm2::{
     algorithm2, algorithm2_budgeted_in, algorithm2_with_order, algorithm2_with_order_in,
     eliminate_nonredundant_budgeted_in, eliminate_nonredundant_in,
 };
-pub use certify::{is_steiner_tree_for, tree_side_cost};
+pub use certify::{
+    check_steiner_solution, is_steiner_tree_for, tree_side_cost, CHECK_STEINER_MAX_NODES,
+};
 pub use cover::{
     is_minimum_path, is_nonredundant_cover, is_nonredundant_path, minimum_cover_bruteforce,
     side_minimum_cover_bruteforce,

@@ -62,6 +62,7 @@ pub fn find_bad_terminal_set(g: &Graph, order: &[NodeId]) -> Option<NodeSet> {
             continue;
         };
         let min =
+            // PROVABLY: feasibility was established above, so a minimum cover exists.
             minimum_cover_bruteforce(g, &terminals).expect("feasible set has a minimum cover");
         if got.len() != min.len() {
             return Some(terminals);

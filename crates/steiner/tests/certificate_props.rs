@@ -1,0 +1,76 @@
+//! Negative tests for the Steiner solution certificate
+//! ([`mcc_steiner::check_steiner_solution`]): each clause — terminal
+//! coverage, alive-set containment, structural tree validity — must
+//! individually reject a solution corrupted along exactly that axis.
+
+use mcc_graph::builder::graph_from_edges;
+use mcc_graph::{Graph, NodeId, NodeSet};
+use mcc_steiner::{check_steiner_solution, SteinerTree};
+use proptest::prelude::*;
+
+/// A random tree on `3..=10` nodes (random attachment: node `i ≥ 1`
+/// picks a parent `< i`) plus a terminal set that always contains node
+/// `0` and the guaranteed leaf `n-1` (no later node attaches to it).
+fn tree_and_terminals() -> impl Strategy<Value = (Graph, NodeSet)> {
+    (3usize..=10).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0usize..n, n - 1),
+            proptest::collection::vec(proptest::bool::ANY, n),
+        )
+            .prop_map(move |(parents, coins)| {
+                let edges: Vec<(usize, usize)> = (1..n).map(|i| (i, parents[i - 1] % i)).collect();
+                let g = graph_from_edges(n, &edges);
+                let mut terminals = NodeSet::new(n);
+                terminals.insert(NodeId::from_index(0));
+                terminals.insert(NodeId::from_index(n - 1));
+                for (i, &c) in coins.iter().enumerate() {
+                    if c {
+                        terminals.insert(NodeId::from_index(i));
+                    }
+                }
+                (g, terminals)
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn each_certificate_clause_rejects_its_corruption(
+        (g, terminals) in tree_and_terminals()
+    ) {
+        let n = g.node_count();
+        let full = NodeSet::full(n);
+        let tree = SteinerTree::from_cover(&g, &full).expect("a tree graph is connected");
+        prop_assert!(check_steiner_solution(&g, &full, &terminals, &tree));
+
+        // (a) Missing terminal: node n-1 is a leaf of g, so the graph
+        // minus that terminal still spans a valid tree — valid in every
+        // respect except terminal coverage.
+        let leaf = NodeId::from_index(n - 1);
+        let mut rest = full.clone();
+        rest.remove(leaf);
+        let missing =
+            SteinerTree::from_cover(&g, &rest).expect("removing a leaf keeps a tree connected");
+        prop_assert!(missing.is_valid_tree(&g), "corruption must only drop the terminal");
+        prop_assert!(
+            !check_steiner_solution(&g, &full, &terminals, &missing),
+            "tree missing terminal {leaf:?} accepted"
+        );
+
+        // (b) Dead node: the genuine tree judged against an alive set
+        // that no longer contains one of its nodes.
+        prop_assert!(
+            !check_steiner_solution(&g, &rest, &terminals, &tree),
+            "tree using a non-alive node accepted"
+        );
+
+        // (c) Structural corruption: dropping one tree edge disconnects
+        // the claimed node set.
+        let mut broken = tree.clone();
+        broken.edges.pop();
+        prop_assert!(
+            !check_steiner_solution(&g, &full, &terminals, &broken),
+            "edge-deficient tree accepted"
+        );
+    }
+}
