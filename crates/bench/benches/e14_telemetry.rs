@@ -1,0 +1,64 @@
+//! E14 — telemetry overhead: the observability layer must be free.
+//!
+//! Every solve now runs under tracing spans (`mcc-obs`): a `SolveTotal`
+//! span plus one span per stage it routes through, a thread-local trace
+//! accumulator, and per-class histogram records. The claim pinned by
+//! EXPERIMENTS.md §E14 is that this costs **< 2%** — within run-to-run
+//! noise — because a recording span is two clock reads and two relaxed
+//! `fetch_add`s, and a *disabled* span is a single relaxed load.
+//!
+//! The A/B toggle is the runtime kill-switch (`mcc::obs::set_enabled`),
+//! flipped around each measurement, so both arms run in one process,
+//! one build, one criterion session — the compile-time feature stays on
+//! and the comparison isolates exactly the recording cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc::prelude::*;
+use mcc_bench::{alpha_workload, six_two_workload, Workload};
+use std::hint::black_box;
+
+/// Benchmarks one solver workload with telemetry recording on and off,
+/// interleaved in the same group.
+fn ab_solver(group: &mut criterion::BenchmarkGroup<'_>, size: usize, w: &Workload, pseudo: bool) {
+    group.throughput(Throughput::Elements(w.va() as u64));
+    for (arm, enabled) in [("telemetry_on", true), ("telemetry_off", false)] {
+        group.bench_with_input(BenchmarkId::new(arm, size), w, |b, w| {
+            // Solver construction (classification) stays outside the
+            // measurement: E14 is about the per-solve recording cost.
+            let solver = Solver::new(w.bipartite.clone());
+            mcc::obs::set_enabled(enabled);
+            b.iter(|| {
+                let sol = if pseudo {
+                    solver.solve_pseudo(&w.terminals, mcc::graph::Side::V2)
+                } else {
+                    solver.solve_steiner(&w.terminals)
+                };
+                black_box(sol.expect("on-class workload solves"))
+            });
+            mcc::obs::set_enabled(true);
+        });
+    }
+}
+
+fn bench_algorithm2_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_telemetry_algorithm2");
+    group.sample_size(20);
+    for blocks in [8usize, 32] {
+        let w = six_two_workload(blocks, 5, 14);
+        ab_solver(&mut group, blocks, &w, false);
+    }
+    group.finish();
+}
+
+fn bench_algorithm1_route(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e14_telemetry_algorithm1");
+    group.sample_size(20);
+    for edges in [32usize, 128] {
+        let w = alpha_workload(edges, 4, 14);
+        ab_solver(&mut group, edges, &w, true);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithm2_route, bench_algorithm1_route);
+criterion_main!(benches);

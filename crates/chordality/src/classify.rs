@@ -142,6 +142,7 @@ pub fn classify_bipartite(bg: &BipartiteGraph) -> BipartiteClassification {
 /// (e.g. the `mcc-core` solver, which classifies before every dispatch)
 /// reuses one set of recognizer scratch buffers across instances.
 pub fn classify_bipartite_in(ws: &mut Workspace, bg: &BipartiteGraph) -> BipartiteClassification {
+    let _span = mcc_obs::span!(Classify);
     BipartiteClassification {
         four_one: is_forest(bg.graph()),
         six_two: is_six_two_chordal(bg),

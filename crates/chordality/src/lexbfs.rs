@@ -32,6 +32,7 @@ pub fn lexbfs_order(g: &Graph) -> Vec<NodeId> {
 /// within a class is arbitrary (as LexBFS permits), so orders may differ
 /// from other implementations while still being valid LexBFS orders.
 pub fn lexbfs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
+    let _span = mcc_obs::span!(LexBfs);
     let n = g.node_count();
     out.clear();
     out.reserve(n);

@@ -23,6 +23,7 @@ pub fn mcs_order(g: &Graph) -> Vec<NodeId> {
 /// This implementation keeps per-node weights and scans buckets, giving
 /// `O(n + m)` up to the bucket bookkeeping.
 pub fn mcs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
+    let _span = mcc_obs::span!(McsOrder);
     let n = g.node_count();
     out.clear();
     out.reserve(n);

@@ -55,6 +55,7 @@ impl SchemaArtifacts {
     /// long-lived registrar (the engine's artifact cache) reuses one set
     /// of recognizer scratch buffers across schemas.
     pub fn build_in(ws: &mut Workspace, bg: BipartiteGraph) -> Self {
+        let _span = mcc_obs::span!(ArtifactBuild);
         let classification = classify_bipartite_in(ws, &bg);
         // lint:allow(hot-path-alloc): registration-time output buffer, built once per schema rather than per query.
         let mut elimination_order = Vec::new();

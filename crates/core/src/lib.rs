@@ -54,6 +54,7 @@ pub use mcc_datamodel as datamodel;
 pub use mcc_gen as gen;
 pub use mcc_graph as graph;
 pub use mcc_hypergraph as hypergraph;
+pub use mcc_obs as obs;
 pub use mcc_reductions as reductions;
 pub use mcc_steiner as steiner;
 

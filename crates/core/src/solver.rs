@@ -11,6 +11,7 @@ use mcc_graph::{
     BipartiteGraph, BudgetExceeded, BudgetKind, CancelToken, NodeSet, Side, SolveBudget, Stage,
     Workspace, WorkspaceStats,
 };
+use mcc_obs::{ClassLabel, CounterKind, SolveTrace, SpanKind};
 use mcc_steiner::{
     algorithm1_with_ordering_budgeted_in, algorithm2_budgeted_in, steiner_exact_budgeted,
     steiner_exact_node_weighted_budgeted, steiner_kmb_budgeted, SteinerInstance, SteinerTree,
@@ -105,6 +106,10 @@ pub struct Solution {
     /// downgrade. `None` means the answer carries the routed strategy's
     /// full guarantee.
     pub degraded: Option<Degraded>,
+    /// Where the solve spent its time, per tracing stage (MCS ordering
+    /// vs. elimination vs. exact DP vs. KMB, …). All-zero when telemetry
+    /// is disabled — see `mcc-obs`.
+    pub trace: SolveTrace,
 }
 
 /// Tuning knobs for the fallback chain.
@@ -250,11 +255,19 @@ impl Solver {
             ws.stats = WorkspaceStats::default();
         }
         let token = self.config.budget.start();
+        // Collect this solve's trace: spans that close on this thread
+        // between here and the snapshot below are attributed to it.
+        let _trace_guard = mcc_obs::trace::begin();
         // The workspace is epoch-stamped and the RefCell guard is dropped
         // during unwind, so catching here cannot observe a torn borrow —
         // only possibly-stale buffer contents, which `poison` flags for a
         // reset at the next entry.
-        match catch_unwind(AssertUnwindSafe(|| run(&token))) {
+        match catch_unwind(AssertUnwindSafe(|| {
+            // The span closes inside the closure (ladder fallbacks
+            // included), so it lands in the trace before the snapshot.
+            let _span = mcc_obs::span!(SolveTotal);
+            run(&token)
+        })) {
             Ok(mut result) => {
                 if let Ok(sol) = result.as_mut() {
                     let ws = self.ws.borrow();
@@ -265,6 +278,17 @@ impl Solver {
                         elapsed: token.elapsed(),
                         budget_checks: token.checks(),
                     };
+                    sol.trace = mcc_obs::trace::snapshot();
+                    // Per-class solve histogram + ladder counter. The
+                    // duration comes from the trace (the obs clock), so
+                    // the whole telemetry story shares one seam.
+                    mcc_obs::record_solve(
+                        self.class_label(),
+                        sol.trace.nanos(SpanKind::SolveTotal),
+                    );
+                    if sol.degraded.is_some() {
+                        mcc_obs::incr(CounterKind::Degraded, 1);
+                    }
                 }
                 result
             }
@@ -300,6 +324,7 @@ impl Solver {
                 cost,
                 stats: SolveStats::default(),
                 degraded: None,
+                trace: SolveTrace::EMPTY,
             });
         }
         let stats = SolveStats::default();
@@ -317,6 +342,7 @@ impl Solver {
                         cost,
                         stats,
                         degraded: None,
+                        trace: SolveTrace::EMPTY,
                     });
                 }
                 // The ladder: a budget trip in the exact route falls to
@@ -333,6 +359,7 @@ impl Solver {
                             from: Stage::ExactDp,
                             reason,
                         }),
+                        trace: SolveTrace::EMPTY,
                     });
                 }
                 Err(e) => return Err(e),
@@ -347,6 +374,7 @@ impl Solver {
                 cost,
                 stats,
                 degraded: None,
+                trace: SolveTrace::EMPTY,
             });
         }
         Err(SolveError::Budget(self.too_many_terminals(terminals.len())))
@@ -375,6 +403,7 @@ impl Solver {
                 cost: out.v2_cost,
                 stats: SolveStats::default(),
                 degraded: None,
+                trace: SolveTrace::EMPTY,
             });
         }
         if terminals.len() <= self.config.max_exact_terminals {
@@ -390,6 +419,7 @@ impl Solver {
                         cost: sol.cost as usize,
                         stats,
                         degraded: None,
+                        trace: SolveTrace::EMPTY,
                     });
                 }
                 // Ladder: best-effort KMB tree; its side cost carries no
@@ -410,12 +440,28 @@ impl Solver {
                             from: Stage::ExactDp,
                             reason,
                         }),
+                        trace: SolveTrace::EMPTY,
                     });
                 }
                 Err(e) => return Err(e),
             }
         }
         Err(SolveError::Budget(self.too_many_terminals(terminals.len())))
+    }
+
+    /// The schema's chordality class as a metric label, most specific
+    /// class first (the hierarchy is (4,1) ⊂ (6,2) ⊂ (6,1)).
+    fn class_label(&self) -> ClassLabel {
+        let c = self.classification();
+        if c.four_one {
+            ClassLabel::FourOne
+        } else if c.six_two {
+            ClassLabel::SixTwo
+        } else if c.six_one {
+            ClassLabel::SixOne
+        } else {
+            ClassLabel::OffClass
+        }
     }
 
     /// The routing cap acts as a budget: report it in the same structured

@@ -122,10 +122,12 @@ impl SchemaArtifactCache {
             .position(|s| s.fingerprint == fingerprint && *s.schema == schema)
         {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            mcc_obs::incr(mcc_obs::CounterKind::CacheHit, 1);
             return Ok(SchemaId(i));
         }
         let artifacts = Self::build(&schema)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        mcc_obs::incr(mcc_obs::CounterKind::CacheMiss, 1);
         slots.push(Slot {
             schema: Arc::new(schema),
             fingerprint,
@@ -183,6 +185,7 @@ impl SchemaArtifactCache {
             let slot = slots.get(id.0).ok_or(CacheError::UnknownSchema(id))?;
             if let Some(a) = &slot.artifacts {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                mcc_obs::incr(mcc_obs::CounterKind::CacheHit, 1);
                 return Ok(CachedArtifacts {
                     generation: slot.generation,
                     artifacts: Arc::clone(a),
@@ -201,6 +204,7 @@ impl SchemaArtifactCache {
         };
         let built = Self::build(&schema)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
+        mcc_obs::incr(mcc_obs::CounterKind::CacheMiss, 1);
         let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
         let slot = slots.get_mut(id.0).ok_or(CacheError::UnknownSchema(id))?;
         // Generations never move backwards, even across the unlocked

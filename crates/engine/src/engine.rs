@@ -69,6 +69,10 @@ impl EngineConfig {
 struct Job {
     request: QueryRequest,
     reply: mpsc::Sender<Response>,
+    /// Admission timestamp from the `mcc-obs` clock; a worker records
+    /// `now − enqueued_nanos` into the queue-wait histogram at pickup.
+    /// 0 when telemetry is disabled (the record is a no-op then too).
+    enqueued_nanos: u64,
 }
 
 struct QueueState {
@@ -188,12 +192,23 @@ impl Engine {
                     .fetch_add(1, Ordering::Relaxed);
                 return Err(Rejected::QueueFull);
             }
-            q.jobs.push_back(Job { request, reply: tx });
+            q.jobs.push_back(Job {
+                request,
+                reply: tx,
+                enqueued_nanos: mcc_obs::now_nanos(),
+            });
+            // Counted while still holding the queue lock (and `SeqCst`,
+            // like the worker-side counters): a worker can only pop this
+            // job after the lock is released, so its `solved`/`completed`
+            // increments are ordered after this one and a mid-load
+            // `stats()` snapshot can never report more outcomes than
+            // submissions. (Previously this sat outside the lock, and a
+            // fast worker could complete the job first.)
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(1, Ordering::SeqCst);
         }
-        self.shared
-            .counters
-            .submitted
-            .fetch_add(1, Ordering::Relaxed);
         self.shared.work_ready.notify_one();
         Ok(Ticket { rx })
     }
@@ -296,6 +311,12 @@ fn worker_loop(shared: &Shared, solver_config: SolverConfig) {
             }
         };
         let Some(job) = job else { return };
+        // Queue wait: admission (under the lock) to pickup (just now).
+        mcc_obs::record_stage(
+            mcc_obs::SpanKind::QueueWait,
+            mcc_obs::now_nanos().saturating_sub(job.enqueued_nanos),
+        );
+        let _serve_span = mcc_obs::span!(Serve);
         // Panic isolation: a panicking solve must cost one query, not the
         // worker — a dead worker stops draining the queue and breaks the
         // shutdown guarantee that every admitted request is answered. No
@@ -321,21 +342,25 @@ fn worker_loop(shared: &Shared, solver_config: SolverConfig) {
                 }))
             }
         };
+        // Outcome counters are `SeqCst` to pair with the submit-side
+        // `submitted` increment — see `Counters` for the snapshot
+        // consistency argument (increments here run in the reverse of
+        // the snapshot's read order).
         match &result {
             Ok(sol) => {
-                shared.counters.solved.fetch_add(1, Ordering::Relaxed);
+                shared.counters.solved.fetch_add(1, Ordering::SeqCst);
                 if sol.degraded.is_some() {
-                    shared.counters.degraded.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.degraded.fetch_add(1, Ordering::SeqCst);
                 }
             }
             Err(_) => {
-                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                shared.counters.failed.fetch_add(1, Ordering::SeqCst);
             }
         }
         // A dropped ticket is not an error: the request was served and
         // counted either way.
         let _ = job.reply.send(result);
-        shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+        shared.counters.completed.fetch_add(1, Ordering::SeqCst);
     }
 }
 

@@ -55,7 +55,7 @@ mod stats;
 pub use cache::{CacheError, CachedArtifacts, SchemaArtifactCache, SchemaId};
 pub use engine::{Engine, EngineConfig};
 pub use request::{EngineError, QueryKind, QueryRequest, Rejected, Ticket};
-pub use stats::EngineStats;
+pub use stats::{EngineStats, ENGINE_METRICS};
 
 pub use mcc::{Solution, SolveBudget, SolverConfig};
 pub use mcc_graph::Side;

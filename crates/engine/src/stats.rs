@@ -1,12 +1,25 @@
 //! Engine-level observability: lock-free counters updated by the front
-//! door and the workers, snapshotted into [`EngineStats`].
+//! door and the workers, snapshotted into [`EngineStats`], and rendered
+//! in the Prometheus text format.
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// The engine's internal counters. Relaxed ordering throughout: the
-/// counters are statistics, not synchronization — the queue mutex and
-/// the response channels order the actual work.
+/// The engine's internal counters.
+///
+/// One request bumps its counters in a fixed order — `submitted` (inside
+/// the queue lock), then `solved` (then `degraded`, if applicable) or
+/// `failed`, then `completed` — and every increment is `SeqCst`.
+/// [`Counters::snapshot`] loads in the **reverse** of that order, also
+/// `SeqCst`: in the sequentially consistent total order, any increment a
+/// snapshot observes implies the snapshot also observes every increment
+/// the same request performed earlier. Mid-load scrapes therefore always
+/// satisfy `completed ≤ solved + failed ≤ submitted` and
+/// `degraded ≤ solved` — the regression that motivated this (an
+/// unlocked, relaxed `submitted` bump racing a fast worker, letting a
+/// scrape report more outcomes than submissions) is pinned by
+/// `tests/stats_consistency.rs`.
 #[derive(Debug, Default)]
 pub(crate) struct Counters {
     pub submitted: AtomicU64,
@@ -16,6 +29,43 @@ pub(crate) struct Counters {
     pub degraded: AtomicU64,
     pub rejected_full: AtomicU64,
     pub rejected_shutdown: AtomicU64,
+}
+
+/// The counter fields of one consistent snapshot (everything in
+/// [`EngineStats`] except queue depth and the cache's own counters).
+pub(crate) struct CounterSnapshot {
+    pub submitted: u64,
+    pub completed: u64,
+    pub solved: u64,
+    pub failed: u64,
+    pub degraded: u64,
+    pub rejected_full: u64,
+    pub rejected_shutdown: u64,
+}
+
+impl Counters {
+    /// One ordered read of every counter — downstream effects first,
+    /// `submitted` last (see the type docs for why that order, combined
+    /// with `SeqCst` increments, keeps `solved + failed ≤ submitted` in
+    /// every snapshot).
+    pub(crate) fn snapshot(&self) -> CounterSnapshot {
+        let completed = self.completed.load(Ordering::SeqCst);
+        let degraded = self.degraded.load(Ordering::SeqCst);
+        let solved = self.solved.load(Ordering::SeqCst);
+        let failed = self.failed.load(Ordering::SeqCst);
+        let rejected_full = self.rejected_full.load(Ordering::SeqCst);
+        let rejected_shutdown = self.rejected_shutdown.load(Ordering::SeqCst);
+        let submitted = self.submitted.load(Ordering::SeqCst);
+        CounterSnapshot {
+            submitted,
+            completed,
+            solved,
+            failed,
+            degraded,
+            rejected_full,
+            rejected_shutdown,
+        }
+    }
 }
 
 /// A point-in-time snapshot of one engine's activity (see
@@ -48,6 +98,62 @@ pub struct EngineStats {
     pub cache_misses: u64,
 }
 
+/// The engine-level metric families [`EngineStats::render_prometheus`]
+/// emits, in output order: `(name, type, help)`. Public so the snapshot
+/// test (and any scrape consumer) can assert the name table.
+pub const ENGINE_METRICS: [(&str, &str, &str); 10] = [
+    (
+        "mcc_engine_queue_depth",
+        "gauge",
+        "Requests admitted but not yet picked up by a worker.",
+    ),
+    (
+        "mcc_engine_submitted_total",
+        "counter",
+        "Requests admitted through the front door.",
+    ),
+    (
+        "mcc_engine_completed_total",
+        "counter",
+        "Requests fully served (answer delivered or caller gone).",
+    ),
+    (
+        "mcc_engine_solved_total",
+        "counter",
+        "Served requests that produced a solution.",
+    ),
+    (
+        "mcc_engine_failed_total",
+        "counter",
+        "Served requests that produced an error.",
+    ),
+    (
+        "mcc_engine_degraded_total",
+        "counter",
+        "Solutions that stepped down the degradation ladder.",
+    ),
+    (
+        "mcc_engine_rejected_full_total",
+        "counter",
+        "Submissions refused because the queue was at capacity.",
+    ),
+    (
+        "mcc_engine_rejected_shutdown_total",
+        "counter",
+        "Submissions refused because the engine was shutting down.",
+    ),
+    (
+        "mcc_engine_cache_hits_total",
+        "counter",
+        "Artifact-cache lookups served without schema-level work.",
+    ),
+    (
+        "mcc_engine_cache_misses_total",
+        "counter",
+        "Artifact builds: cold registrations plus rebuilds.",
+    ),
+];
+
 impl EngineStats {
     pub(crate) fn snapshot(
         counters: &Counters,
@@ -55,17 +161,52 @@ impl EngineStats {
         cache_hits: u64,
         cache_misses: u64,
     ) -> Self {
+        let c = counters.snapshot();
         EngineStats {
             queue_depth,
-            submitted: counters.submitted.load(Ordering::Relaxed),
-            completed: counters.completed.load(Ordering::Relaxed),
-            solved: counters.solved.load(Ordering::Relaxed),
-            failed: counters.failed.load(Ordering::Relaxed),
-            degraded: counters.degraded.load(Ordering::Relaxed),
-            rejected_full: counters.rejected_full.load(Ordering::Relaxed),
-            rejected_shutdown: counters.rejected_shutdown.load(Ordering::Relaxed),
+            submitted: c.submitted,
+            completed: c.completed,
+            solved: c.solved,
+            failed: c.failed,
+            degraded: c.degraded,
+            rejected_full: c.rejected_full,
+            rejected_shutdown: c.rejected_shutdown,
             cache_hits,
             cache_misses,
+        }
+    }
+
+    /// Renders this snapshot in the Prometheus text exposition format:
+    /// the [`ENGINE_METRICS`] families, in table order, each with its
+    /// `# HELP`/`# TYPE` header. A pure function of the (Copy) snapshot,
+    /// so the output is deterministic by construction; for the solver
+    /// stack's histograms append `mcc_obs::render_global_into` — the two
+    /// use disjoint name prefixes (`mcc_engine_` vs. `mcc_`).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        self.render_prometheus_into(&mut out);
+        out
+    }
+
+    /// [`EngineStats::render_prometheus`], appending into `out`.
+    pub fn render_prometheus_into(&self, out: &mut String) {
+        let values: [u64; 10] = [
+            self.queue_depth as u64,
+            self.submitted,
+            self.completed,
+            self.solved,
+            self.failed,
+            self.degraded,
+            self.rejected_full,
+            self.rejected_shutdown,
+            self.cache_hits,
+            self.cache_misses,
+        ];
+        for ((name, kind, help), value) in ENGINE_METRICS.iter().zip(values) {
+            // Writing to a String cannot fail; discard the fmt results.
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            let _ = writeln!(out, "{name} {value}");
         }
     }
 }

@@ -1,0 +1,89 @@
+//! Byte-determinism of [`EngineStats::render_prometheus`].
+//!
+//! The render is a pure function of a `Copy` snapshot, so a hand-built
+//! snapshot pins the full scrape text — names, `# HELP`/`# TYPE`
+//! headers, order, and values — without any concurrency in sight.
+
+use mcc_engine::{EngineStats, ENGINE_METRICS};
+
+fn sample() -> EngineStats {
+    EngineStats {
+        queue_depth: 4,
+        submitted: 100,
+        completed: 93,
+        solved: 90,
+        failed: 3,
+        degraded: 7,
+        rejected_full: 2,
+        rejected_shutdown: 1,
+        cache_hits: 88,
+        cache_misses: 5,
+    }
+}
+
+#[test]
+fn render_matches_golden_byte_for_byte() {
+    let golden = "\
+# HELP mcc_engine_queue_depth Requests admitted but not yet picked up by a worker.
+# TYPE mcc_engine_queue_depth gauge
+mcc_engine_queue_depth 4
+# HELP mcc_engine_submitted_total Requests admitted through the front door.
+# TYPE mcc_engine_submitted_total counter
+mcc_engine_submitted_total 100
+# HELP mcc_engine_completed_total Requests fully served (answer delivered or caller gone).
+# TYPE mcc_engine_completed_total counter
+mcc_engine_completed_total 93
+# HELP mcc_engine_solved_total Served requests that produced a solution.
+# TYPE mcc_engine_solved_total counter
+mcc_engine_solved_total 90
+# HELP mcc_engine_failed_total Served requests that produced an error.
+# TYPE mcc_engine_failed_total counter
+mcc_engine_failed_total 3
+# HELP mcc_engine_degraded_total Solutions that stepped down the degradation ladder.
+# TYPE mcc_engine_degraded_total counter
+mcc_engine_degraded_total 7
+# HELP mcc_engine_rejected_full_total Submissions refused because the queue was at capacity.
+# TYPE mcc_engine_rejected_full_total counter
+mcc_engine_rejected_full_total 2
+# HELP mcc_engine_rejected_shutdown_total Submissions refused because the engine was shutting down.
+# TYPE mcc_engine_rejected_shutdown_total counter
+mcc_engine_rejected_shutdown_total 1
+# HELP mcc_engine_cache_hits_total Artifact-cache lookups served without schema-level work.
+# TYPE mcc_engine_cache_hits_total counter
+mcc_engine_cache_hits_total 88
+# HELP mcc_engine_cache_misses_total Artifact builds: cold registrations plus rebuilds.
+# TYPE mcc_engine_cache_misses_total counter
+mcc_engine_cache_misses_total 5
+";
+    assert_eq!(sample().render_prometheus(), golden);
+}
+
+#[test]
+fn metric_table_is_consistent_and_unique() {
+    // Every family appears in the render, exactly once, in table order.
+    let out = sample().render_prometheus();
+    let mut at = 0;
+    for (name, kind, _help) in ENGINE_METRICS {
+        let pos = out[at..]
+            .find(&format!("# TYPE {name} {kind}\n"))
+            .unwrap_or_else(|| panic!("family {name} missing or out of order"));
+        at += pos + 1;
+        assert!(
+            name == "mcc_engine_queue_depth" || name.ends_with("_total"),
+            "counter naming convention: {name}"
+        );
+        assert!(name.starts_with("mcc_engine_"), "engine prefix: {name}");
+    }
+    // Names are unique.
+    let mut names: Vec<_> = ENGINE_METRICS.iter().map(|(n, _, _)| n).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), ENGINE_METRICS.len());
+}
+
+#[test]
+fn render_into_appends() {
+    let mut out = String::from("# prefix\n");
+    sample().render_prometheus_into(&mut out);
+    assert!(out.starts_with("# prefix\n# HELP mcc_engine_queue_depth"));
+}

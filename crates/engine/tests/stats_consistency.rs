@@ -1,0 +1,118 @@
+//! Regression: [`EngineStats`] snapshots must be *consistent* under
+//! concurrent load.
+//!
+//! The original front door bumped `submitted` outside the queue lock,
+//! after the push: a fast worker could pop the job, solve it, and bump
+//! `solved`/`completed` before the submitter's increment landed, so a
+//! concurrent `stats()` scrape could report more outcomes than
+//! submissions. The fix (count under the lock, `SeqCst` increments in a
+//! fixed per-request order, snapshot loads in the reverse order) makes
+//! the invariants below hold in **every** snapshot, not just quiescent
+//! ones. This test hammers scrapes while submitters and workers race.
+
+use mcc_datamodel::RelationalSchema;
+use mcc_engine::{Engine, EngineConfig, QueryRequest};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn schema() -> RelationalSchema {
+    RelationalSchema::from_lists(
+        "emp",
+        &["emp_id", "name", "dept", "budget"],
+        &[("EMP", &[0, 1, 2]), ("DEPT", &[2, 3])],
+    )
+}
+
+/// Panics if `stats` violates a snapshot invariant.
+fn check(stats: &mcc_engine::EngineStats, context: &str) {
+    assert!(
+        stats.solved + stats.failed <= stats.submitted,
+        "{context}: outcomes exceed submissions: {stats}"
+    );
+    assert!(
+        stats.completed <= stats.solved + stats.failed,
+        "{context}: completions exceed outcomes: {stats}"
+    );
+    assert!(
+        stats.degraded <= stats.solved,
+        "{context}: degraded exceeds solved: {stats}"
+    );
+}
+
+#[test]
+fn mid_load_snapshots_never_overcount_outcomes() {
+    let engine = Arc::new(Engine::new(EngineConfig {
+        workers: 3,
+        queue_capacity: 64,
+        solver: Default::default(),
+    }));
+    let id = engine.register(schema()).unwrap();
+
+    let done = Arc::new(AtomicBool::new(false));
+
+    // Scrapers: hammer stats() the whole time and check every snapshot.
+    let scrapers: Vec<_> = (0..2)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    check(&engine.stats(), "mid-load");
+                    scrapes += 1;
+                }
+                scrapes
+            })
+        })
+        .collect();
+
+    // Submitters: small queries, some of them rejected when the queue
+    // fills — both paths must keep the books consistent.
+    let submitters: Vec<_> = (0..3)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            std::thread::spawn(move || {
+                let mut tickets = Vec::new();
+                for i in 0..400 {
+                    let objects: &[&str] = if i % 2 == 0 {
+                        &["name", "budget"]
+                    } else {
+                        &["emp_id", "dept"]
+                    };
+                    if let Ok(t) = engine.submit(QueryRequest::steiner(id, objects)) {
+                        tickets.push(t);
+                    }
+                    if tickets.len() >= 32 {
+                        // Drain periodically so the queue keeps moving.
+                        for t in tickets.drain(..) {
+                            let _ = t.wait();
+                        }
+                    }
+                }
+                for t in tickets {
+                    let _ = t.wait();
+                }
+            })
+        })
+        .collect();
+
+    for s in submitters {
+        s.join().unwrap();
+    }
+    done.store(true, Ordering::Relaxed);
+    for s in scrapers {
+        let scrapes = s.join().unwrap();
+        assert!(scrapes > 0, "scraper never ran");
+    }
+
+    // Post-drain the books balance exactly.
+    let engine = Arc::try_unwrap(engine).expect("all clones joined");
+    let stats = engine.shutdown();
+    check(&stats, "post-drain");
+    assert_eq!(
+        stats.completed, stats.submitted,
+        "drain must answer all: {stats}"
+    );
+    assert_eq!(stats.solved + stats.failed, stats.submitted, "{stats}");
+    assert_eq!(stats.failed, 0, "all queries were well-formed: {stats}");
+}

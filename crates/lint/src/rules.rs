@@ -28,7 +28,7 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "no-wall-clock",
         "no Instant::now()/SystemTime::now() outside CancelToken/budget code \
-         (tick discipline)",
+         without a // PROVABLY: justification (tick discipline)",
     ),
     (
         "hot-path-alloc",
@@ -100,7 +100,10 @@ pub fn no_panic(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Rule 3: wall-clock reads are confined to the budget/cancellation layer.
+/// Rule 3: wall-clock reads are confined to the budget/cancellation
+/// layer, or carry a `// PROVABLY:` justification (the observability
+/// clock's single monotonic-epoch read is the intended user — see
+/// `crates/obs/src/clock.rs`).
 pub fn no_wall_clock(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
     // The tick discipline lives in `CancelToken` (crates/graph budget.rs);
     // benches measure wall time by definition.
@@ -116,6 +119,7 @@ pub fn no_wall_clock(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
         if (t.text == "Instant" || t.text == "SystemTime")
             && w[1].text == "::"
             && w[2].text == "now"
+            && !a.provably_at(t.line)
             && !a.allowed_at(t.line, "no-wall-clock")
         {
             out.push(ctx.diag(

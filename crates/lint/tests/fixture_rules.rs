@@ -34,7 +34,7 @@ fn seeded_violations_are_reported_with_exact_locations() {
         ("crates/nounsafe/src/lib.rs", 1, "forbid-unsafe"),
         ("crates/widgets/src/lib.rs", 10, "no-panic"),
         ("crates/widgets/src/lib.rs", 27, "no-wall-clock"),
-        ("crates/widgets/src/lib.rs", 38, "hot-path-alloc"),
+        ("crates/widgets/src/lib.rs", 44, "hot-path-alloc"),
     ];
     assert_eq!(got, expected);
 }

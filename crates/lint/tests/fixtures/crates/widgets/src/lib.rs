@@ -33,6 +33,12 @@ pub fn allowed_clock() -> Instant {
     Instant::now()
 }
 
+/// Exempt: a justified clock read (the obs clock's epoch seam).
+pub fn justified_clock() -> Instant {
+    // PROVABLY: monotonic-epoch read, the one sanctioned wall-clock seam.
+    Instant::now()
+}
+
 /// Violation (hot-path-alloc): an allocation inside a `*_in` hot path.
 pub fn fill_in(out: &mut Vec<u32>) {
     let extra: Vec<u32> = Vec::new();

@@ -1,0 +1,113 @@
+//! # `mcc-obs` — observability for the solver stack
+//!
+//! PRs 1–4 made the engine fast, governed, and self-checking; this crate
+//! makes it **legible at runtime**. The ROADMAP's per-acyclicity-class
+//! performance envelopes (cf. Theorems 3–5 and the E10–E13 experiments)
+//! are only auditable in production if the serving system records *where*
+//! time goes — MCS ordering vs. elimination vs. exact DP vs. KMB — and
+//! *which* chordality class each solve landed in. Three pieces:
+//!
+//! * a **metrics registry** ([`Registry`], [`metrics`]) that is lock-free
+//!   on the hot path: sharded monotonic counters, gauges, and fixed
+//!   log2-bucket histograms, all plain atomics — solve loops never
+//!   contend on a lock, and scrapes merge the shards;
+//! * lightweight **tracing spans** ([`span!`], [`Span`]): RAII guards
+//!   that time a stage ([`SpanKind`]) into the global registry and into
+//!   the calling thread's active [`SolveTrace`], with **zero heap
+//!   allocation** — the PR 1/2 zero-alloc hot-path guarantees survive
+//!   (pinned by `crates/steiner/tests/alloc_regression.rs`);
+//! * a text **export** ([`Registry::render_prometheus_into`],
+//!   [`render_global_into`]) in the Prometheus exposition format, plus
+//!   the structured [`SolveTrace`] record `mcc` attaches to every
+//!   `Solution` — operators and benches consume the same numbers.
+//!
+//! ## The clock seam
+//!
+//! Wall-clock reads are confined to [`clock`]: a [`Clock`] trait with a
+//! monotonic production implementation (the workspace's single
+//! `// PROVABLY:` exemption from the `no-wall-clock` lint rule) and a
+//! manually advanced [`TestClock`] so tests — including the Prometheus
+//! snapshot test — are byte-deterministic.
+//!
+//! ## Turning it off
+//!
+//! Two independent switches:
+//!
+//! * **runtime**: [`set_enabled`]`(false)` suppresses clock reads and
+//!   recording while keeping every call site compiled — what the
+//!   interleaved A/B bench (EXPERIMENTS.md §E14) toggles;
+//! * **compile time**: building with `--no-default-features` (the
+//!   `telemetry-off` configuration) replaces spans, traces, the global
+//!   recorders, and the clock with no-ops of identical signature, so the
+//!   whole layer vanishes from the binary.
+
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![warn(missing_docs)]
+// `const Z: AtomicU64 = AtomicU64::new(0); [Z; N]` is the array-repetition
+// idiom this crate uses to `const`-construct its atomic arrays (required
+// for the registry to live in `static` position). Each such const is a
+// zero template consumed immediately by one repeat expression — never a
+// shared constant anyone reads through — so the lint's footgun (silently
+// copying an atomic) cannot arise.
+#![allow(clippy::declare_interior_mutable_const)]
+
+pub mod clock;
+pub mod metrics;
+mod names;
+// With telemetry off, the real registry still compiles (local `Registry`
+// instances stay constructible for tests) but its global free functions
+// are unreferenced — the no-op module below replaces them.
+#[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
+mod registry;
+mod span;
+pub mod trace;
+
+pub use clock::{install_clock, Clock, TestClock};
+pub use metrics::{Counter, Gauge, Histogram, NUM_BUCKETS};
+pub use names::{ClassLabel, CounterKind, SpanKind, N_CLASSES, N_COUNTERS, N_SPANS};
+pub use registry::Registry;
+#[cfg(feature = "telemetry")]
+pub use registry::{
+    enabled, global, incr, now_nanos, record_solve, record_stage, render_global_into, set_enabled,
+};
+pub use span::{span, Span};
+pub use trace::SolveTrace;
+
+#[cfg(not(feature = "telemetry"))]
+mod noop {
+    //! Signature-identical no-ops for the `telemetry-off` build.
+
+    /// No-op: telemetry is compiled out.
+    pub fn incr(_kind: crate::CounterKind, _n: u64) {}
+    /// No-op: telemetry is compiled out.
+    pub fn record_stage(_kind: crate::SpanKind, _nanos: u64) {}
+    /// No-op: telemetry is compiled out.
+    pub fn record_solve(_class: crate::ClassLabel, _nanos: u64) {}
+    /// Always 0: telemetry is compiled out, the clock is never read.
+    pub fn now_nanos() -> u64 {
+        0
+    }
+    /// Always `false`: telemetry is compiled out.
+    pub fn enabled() -> bool {
+        false
+    }
+    /// No-op: telemetry is compiled out.
+    pub fn set_enabled(_on: bool) {}
+    /// Appends nothing: there is no registry to render.
+    pub fn render_global_into(_out: &mut String) {}
+}
+#[cfg(not(feature = "telemetry"))]
+pub use noop::{
+    enabled, incr, now_nanos, record_solve, record_stage, render_global_into, set_enabled,
+};
+
+/// Opens a [`Span`] for the named [`SpanKind`] variant:
+/// `let _guard = mcc_obs::span!(McsOrder);`. The guard records the
+/// stage's duration when dropped (a no-op when telemetry is disabled).
+#[macro_export]
+macro_rules! span {
+    ($kind:ident) => {
+        $crate::span($crate::SpanKind::$kind)
+    };
+}

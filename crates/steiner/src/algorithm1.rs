@@ -83,6 +83,7 @@ pub struct Lemma1Ordering {
 /// V₂-chordal ∧ V₂-conformal, so no Lemma 1 ordering exists and
 /// Algorithm 1's optimality guarantee is void.
 pub fn lemma1_ordering(bg: &BipartiteGraph) -> Option<Lemma1Ordering> {
+    let _span = mcc_obs::span!(Lemma1Order);
     let cleaned = drop_isolated_v2(bg);
     // PROVABLY: `h1_of_bipartite` fails only on isolated V2 nodes, just dropped.
     let (h1, _node_map, edge_map) = h1_of_bipartite(&cleaned).expect("isolated V2 nodes dropped");
@@ -228,6 +229,7 @@ fn algorithm1_dispatch(
     budget: &SolveBudget,
     token: &CancelToken,
 ) -> SolveOutcome<Algorithm1Output> {
+    let _span = mcc_obs::span!(Algorithm1);
     let g = bg.graph();
     let n = g.node_count();
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");

@@ -104,6 +104,7 @@ pub fn algorithm2_budgeted_in(
     budget: &SolveBudget,
     token: &CancelToken,
 ) -> SolveOutcome<SteinerTree> {
+    let _span = mcc_obs::span!(Algorithm2);
     let n = g.node_count();
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
     budget.admit_graph(Stage::Algorithm2, n, g.edge_count())?;

@@ -107,6 +107,7 @@ pub fn steiner_exact_node_weighted_budgeted(
     budget: &SolveBudget,
     token: &CancelToken,
 ) -> SolveOutcome<ExactSolution> {
+    let _span = mcc_obs::span!(ExactDp);
     let n = g.node_count();
     assert_eq!(weights.len(), n, "one weight per node");
     let ts: Vec<NodeId> = terminals.to_vec();

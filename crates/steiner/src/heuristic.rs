@@ -41,6 +41,7 @@ pub fn steiner_kmb_budgeted(
     budget: &SolveBudget,
     token: &CancelToken,
 ) -> SolveOutcome<SteinerTree> {
+    let _span = mcc_obs::span!(Kmb);
     let n = g.node_count();
     assert_eq!(terminals.capacity(), n, "terminal universe mismatch");
     budget.admit_graph(Stage::Heuristic, n, g.edge_count())?;

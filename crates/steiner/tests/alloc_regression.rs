@@ -121,3 +121,45 @@ fn elimination_loop_allocates_nothing_after_warmup() {
     let tree = algorithm2(&g, &terminals).expect("terminals connected");
     assert_eq!(tree.node_cost(), alive.len());
 }
+
+/// The tracing span in `algorithm2_budgeted_in` must not change the
+/// function's allocation profile: recording is `Cell`/atomic arithmetic
+/// only. The budgeted route allocates for its *result tree* (that is
+/// inherent to returning an owned `SteinerTree`), so the assertion is
+/// differential — a warm solve with telemetry recording ON allocates
+/// exactly as much as the same solve with the kill-switch OFF.
+#[test]
+fn telemetry_spans_add_zero_allocations_on_the_budgeted_route() {
+    use mcc_graph::SolveBudget;
+    use mcc_steiner::algorithm2_budgeted_in;
+
+    let (g, terminals) = c4_chain(8);
+    let order: Vec<NodeId> = g.nodes().collect();
+    let budget = SolveBudget::unbounded();
+    let mut ws = Workspace::new();
+
+    let mut measure = |ws: &mut Workspace| {
+        let token = budget.start();
+        let before = allocation_count();
+        let tree = algorithm2_budgeted_in(ws, &g, &terminals, &order, &budget, &token)
+            .expect("terminals connected");
+        let allocs = allocation_count() - before;
+        (allocs, tree.node_cost())
+    };
+
+    // Warm-up (grows workspace buffers, initializes the obs clock epoch
+    // and this thread's counter home shard).
+    mcc_obs::set_enabled(true);
+    let _ = measure(&mut ws);
+
+    let (on_allocs, on_cost) = measure(&mut ws);
+    mcc_obs::set_enabled(false);
+    let (off_allocs, off_cost) = measure(&mut ws);
+    mcc_obs::set_enabled(true);
+
+    assert_eq!(on_cost, off_cost, "kill-switch must not affect answers");
+    assert_eq!(
+        on_allocs, off_allocs,
+        "recording spans must not allocate: {on_allocs} (on) vs {off_allocs} (off)"
+    );
+}
