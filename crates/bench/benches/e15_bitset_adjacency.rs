@@ -1,0 +1,105 @@
+//! E15 — word-parallel adjacency: the hybrid `u64`-bitset rows against
+//! pure CSR across the density spectrum.
+//!
+//! `Graph::rebuild_bit_rows` makes the representation a free variable of
+//! the *same* logical graph: `usize::MAX` keeps every row CSR (the
+//! pre-hybrid baseline), while the construction-time default promotes
+//! rows of degree ≥ ⌈n/64⌉ to dense bitset words. The recognizers and
+//! both connection algorithms dispatch per row, so this sweep isolates
+//! exactly what the word-parallel fast paths buy at each density:
+//!
+//! * `classify` — the full seven-predicate classifier (context: its
+//!   projection/hypergraph legs are representation-independent);
+//! * `chordal` — MCS + PEO verification, the Theorem 1 recognizer core;
+//! * `six_cycle` — the (6,2) sparse-six-cycle triple-intersection scan;
+//! * `algorithm2` — the Steiner elimination sweep, whose terminal
+//!   connectivity test is a direction-optimized frontier BFS on graphs
+//!   carrying dense rows (k=4 lets the CSR queue BFS early-exit; k=16
+//!   defeats the early exit and shows the level-synchronous win).
+//!
+//! The sparse regime (p=0.10 and the α-acyclic Algorithm 1 workload)
+//! doubles as a no-regression guard: no row qualifies for a dense row
+//! there, so hybrid and CSR must price identically. EXPERIMENTS.md §E15
+//! records the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcc::chordality::{classify_bipartite, find_sparse_six_cycle, is_chordal};
+use mcc::gen::{random_bipartite, random_terminals};
+use mcc::graph::{BipartiteGraph, Graph};
+use mcc::steiner::{algorithm1, algorithm2};
+use mcc_bench::alpha_workload;
+use std::hint::black_box;
+
+const SEED: u64 = 7;
+
+/// Re-packs `bg` so its inner graph uses the given bit-row threshold;
+/// edges and sides are untouched (same trick as the differential suite).
+fn with_threshold(bg: &BipartiteGraph, min_degree: usize) -> BipartiteGraph {
+    let mut g: Graph = bg.graph().clone();
+    g.rebuild_bit_rows(min_degree);
+    let side = bg.graph().nodes().map(|v| bg.side(v)).collect();
+    BipartiteGraph::new(g, side).expect("same edges, same sides")
+}
+
+fn bench_bitset_adjacency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e15_bitset_adjacency");
+    group.sample_size(15);
+
+    // Full classifier on a mid-size graph across the density sweep.
+    for &(tag, p) in &[("p10", 0.10), ("p50", 0.50), ("p90", 0.90)] {
+        let bg = random_bipartite(48, 40, p, SEED);
+        let csr = with_threshold(&bg, usize::MAX);
+        group.bench_with_input(BenchmarkId::new("classify_csr", tag), &csr, |b, g| {
+            b.iter(|| black_box(classify_bipartite(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("classify_hybrid", tag), &bg, |b, g| {
+            b.iter(|| black_box(classify_bipartite(g)))
+        });
+    }
+
+    // Representation-sensitive kernels at n=256, where dense rows are
+    // 4 words each.
+    for &(tag, p) in &[("p10", 0.10), ("p50", 0.50), ("p90", 0.90)] {
+        let bg = random_bipartite(128, 128, p, SEED);
+        let csr = with_threshold(&bg, usize::MAX);
+        group.bench_with_input(BenchmarkId::new("chordal_csr", tag), &csr, |b, g| {
+            b.iter(|| black_box(is_chordal(g.graph())))
+        });
+        group.bench_with_input(BenchmarkId::new("chordal_hybrid", tag), &bg, |b, g| {
+            b.iter(|| black_box(is_chordal(g.graph())))
+        });
+        group.bench_with_input(BenchmarkId::new("six_cycle_csr", tag), &csr, |b, g| {
+            b.iter(|| black_box(find_sparse_six_cycle(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("six_cycle_hybrid", tag), &bg, |b, g| {
+            b.iter(|| black_box(find_sparse_six_cycle(g)))
+        });
+        for k in [4usize, 16] {
+            let terminals = random_terminals(bg.graph(), None, k, SEED ^ 0xe15);
+            let csr_name = format!("algorithm2_csr_k{k}");
+            let hybrid_name = format!("algorithm2_hybrid_k{k}");
+            group.bench_with_input(BenchmarkId::new(&csr_name, tag), &csr, |b, g| {
+                b.iter(|| black_box(algorithm2(g.graph(), &terminals)))
+            });
+            group.bench_with_input(BenchmarkId::new(&hybrid_name, tag), &bg, |b, g| {
+                b.iter(|| black_box(algorithm2(g.graph(), &terminals)))
+            });
+        }
+    }
+
+    // Algorithm 1 needs an α-acyclic `H¹`: reuse the E4 join-tree
+    // family. Join trees are sparse, so this pins the CSR-wins regime —
+    // the hybrid must not regress where no row qualifies for dense rows.
+    let w = alpha_workload(64, 4, SEED);
+    let csr = with_threshold(&w.bipartite, usize::MAX);
+    group.bench_function("algorithm1_csr/alpha_e64", |b| {
+        b.iter(|| black_box(algorithm1(&csr, &w.terminals).expect("alpha-acyclic")))
+    });
+    group.bench_function("algorithm1_hybrid/alpha_e64", |b| {
+        b.iter(|| black_box(algorithm1(&w.bipartite, &w.terminals).expect("alpha-acyclic")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bitset_adjacency);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! E16 — batched serving: `Engine::submit_batch` at batch sizes 1/8/64
+//! against the per-query `submit` loop, warm artifact cache throughout.
+//!
+//! What the comparison isolates: per-query submits pay one queue
+//! round-trip (lock, slot, condvar wake) and one artifact-cache read
+//! *per request*, while a same-schema batch occupies a single queue slot
+//! and is served off one artifact fetch and one solver revalidation for
+//! the whole group. Batch size 1 prices the `submit_batch` front door
+//! itself (grouping pass, all-or-nothing admission) against plain
+//! `submit` — the two should be near-identical. The workload is the E12
+//! serving batch, so E12's warm-path numbers are directly comparable.
+//! EXPERIMENTS.md §E16 records the numbers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcc::datamodel::{QueryEngine, RelationalSchema};
+use mcc_bench::serving_workload;
+use mcc_engine::{Engine, EngineConfig, QueryRequest, SchemaId, Side};
+use std::hint::black_box;
+
+const EDGES: usize = 96;
+const BATCH: usize = 64;
+const SEED: u64 = 7;
+const WORKERS: usize = 4;
+
+fn request(id: SchemaId, query: &[String]) -> QueryRequest {
+    let names: Vec<&str> = query.iter().map(String::as_str).collect();
+    QueryRequest::pseudo(id, &names, Side::V2)
+}
+
+fn run_per_query(engine: &Engine, id: SchemaId, batch: &[Vec<String>]) {
+    let tickets: Vec<_> = batch
+        .iter()
+        .map(|q| engine.submit(request(id, q)).expect("queue sized"))
+        .collect();
+    for t in tickets {
+        black_box(t.wait().expect("on-class solve"));
+    }
+}
+
+fn run_batched(engine: &Engine, id: SchemaId, batch: &[Vec<String>], chunk: usize) {
+    for qs in batch.chunks(chunk) {
+        let (tickets, rejected) = engine.submit_batch(qs.iter().map(|q| request(id, q)));
+        assert!(rejected.is_none(), "queue sized for the batch");
+        for t in tickets {
+            black_box(t.wait().expect("on-class solve"));
+        }
+    }
+}
+
+fn warm_engine(schema: &RelationalSchema) -> (Engine, SchemaId) {
+    let engine = Engine::new(EngineConfig {
+        workers: WORKERS,
+        queue_capacity: BATCH,
+        solver: Default::default(),
+    });
+    let id = engine.register(schema.clone()).expect("register");
+    (engine, id)
+}
+
+fn bench_batched_serving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e16_batched_serving");
+    group.sample_size(15);
+    let (schema, batch) = serving_workload(EDGES, BATCH, SEED);
+    group.throughput(Throughput::Elements(BATCH as u64));
+
+    // Single-threaded floor, and the sequential twin of solve_batch.
+    group.bench_function("queryengine_solve_batch", |b| {
+        let qe = QueryEngine::new(schema.clone()).expect("valid schema");
+        let queries: Vec<Vec<&str>> = batch
+            .iter()
+            .map(|q| q.iter().map(String::as_str).collect())
+            .collect();
+        let slices: Vec<&[&str]> = queries.iter().map(Vec::as_slice).collect();
+        b.iter(|| {
+            for r in black_box(qe.solve_batch(&slices)) {
+                black_box(r.expect("on-class solve"));
+            }
+        })
+    });
+
+    group.bench_function("engine_per_query_submit", |b| {
+        let (engine, id) = warm_engine(&schema);
+        run_per_query(&engine, id, &batch); // warm the cache + solvers
+        b.iter(|| run_per_query(&engine, id, &batch))
+    });
+
+    for chunk in [1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("engine_submit_batch", chunk),
+            &chunk,
+            |b, &chunk| {
+                let (engine, id) = warm_engine(&schema);
+                run_batched(&engine, id, &batch, chunk); // warm the cache + solvers
+                b.iter(|| run_batched(&engine, id, &batch, chunk))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_serving);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use crate::{
     find_sparse_six_cycle, find_vi_conformality_violation, is_chordal_bipartite, is_forest,
-    is_six_two_chordal, is_vi_chordal, is_vi_chordal_in, is_vi_conformal,
+    is_six_two_chordal_in, is_vi_chordal, is_vi_chordal_in, is_vi_conformal,
 };
 use mcc_graph::{BipartiteGraph, Side, Workspace};
 use std::fmt;
@@ -145,7 +145,7 @@ pub fn classify_bipartite_in(ws: &mut Workspace, bg: &BipartiteGraph) -> Biparti
     let _span = mcc_obs::span!(Classify);
     BipartiteClassification {
         four_one: is_forest(bg.graph()),
-        six_two: is_six_two_chordal(bg),
+        six_two: is_six_two_chordal_in(ws, bg),
         six_one: is_chordal_bipartite(bg.graph()),
         v1_chordal: is_vi_chordal_in(ws, bg, Side::V1),
         v1_conformal: is_vi_conformal(bg, Side::V1),

@@ -56,20 +56,25 @@ pub fn lexbfs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
     cell_end.push(n);
     moved.push(0);
     let mut touched = ws.take_usize_buf();
+    // Unvisited nodes as a bitset: the partition-refinement sweep then
+    // filters neighbors word-parallel against dense adjacency rows.
+    let mut unvisited = ws.take_set_buf(n);
+    for v in g.nodes() {
+        unvisited.insert(v);
+    }
 
     for i in 0..n {
         let v = seq[i];
         out.push(v);
+        unvisited.remove(v);
         // v is the first unvisited node, hence the head of its class.
         let cv = cell_of[v.index()];
         debug_assert_eq!(cell_start[cv], i);
         cell_start[cv] = i + 1;
         // Pull each unvisited neighbor to the front of its class.
         touched.clear();
-        for &u in g.neighbors(v) {
-            if pos[u.index()] <= i {
-                continue; // already output
-            }
+        for u in g.alive_neighbors(v, &unvisited) {
+            debug_assert!(pos[u.index()] > i, "unvisited nodes live past i");
             let c = cell_of[u.index()];
             if moved[c] == 0 {
                 touched.push(c);
@@ -100,6 +105,7 @@ pub fn lexbfs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
         }
     }
     debug_assert_eq!(out.len(), n);
+    ws.return_set_buf(unvisited);
     ws.return_node_buf(seq);
     ws.return_usize_buf(pos);
     ws.return_usize_buf(cell_of);

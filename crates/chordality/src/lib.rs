@@ -82,8 +82,8 @@ pub use mn_chordal::{is_forest, is_mn_chordal_bruteforce};
 pub use peo::{is_perfect_elimination_ordering, is_perfect_elimination_ordering_in};
 pub use projection::project_onto;
 pub use six_two::{
-    find_sparse_six_cycle, is_six_two_chordal, is_six_two_chordal_blockwise,
-    is_six_two_chordal_bruteforce,
+    find_sparse_six_cycle, find_sparse_six_cycle_in, is_six_two_chordal,
+    is_six_two_chordal_blockwise, is_six_two_chordal_bruteforce, is_six_two_chordal_in,
 };
 pub use vi_chordal::{is_vi_chordal, is_vi_chordal_bruteforce, is_vi_chordal_in};
 pub use vi_conformal::{

@@ -36,7 +36,12 @@ pub fn mcs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
         buckets.push(Vec::new());
     }
     buckets[0].extend(g.nodes());
-    ws.begin_visit(n);
+    // Unvisited nodes as a bitset so the neighbor sweep can run
+    // word-parallel against dense adjacency rows.
+    let mut unvisited = ws.take_set_buf(n);
+    for v in g.nodes() {
+        unvisited.insert(v);
+    }
     let mut max_weight = 0usize;
     while out.len() < n {
         // Find the highest non-empty bucket with an unvisited node; ties
@@ -44,7 +49,8 @@ pub fn mcs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
         let v = loop {
             // Purge stale entries (visited, or promoted to a higher
             // bucket), then take the minimum survivor.
-            buckets[max_weight].retain(|c| !ws.is_marked(*c) && weight[c.index()] == max_weight);
+            buckets[max_weight]
+                .retain(|c| unvisited.contains(*c) && weight[c.index()] == max_weight);
             match buckets[max_weight].iter().copied().min() {
                 Some(v) => {
                     buckets[max_weight].retain(|&c| c != v);
@@ -56,23 +62,22 @@ pub fn mcs_order_in(ws: &mut Workspace, g: &Graph, out: &mut Vec<NodeId>) {
                 }
             }
         };
-        ws.mark(v);
+        unvisited.remove(v);
         out.push(v);
-        for &u in g.neighbors(v) {
-            if !ws.is_marked(u) {
-                weight[u.index()] += 1;
-                let w = weight[u.index()];
-                if w >= buckets.len() {
-                    // lint:allow(hot-path-alloc): bucket-spine growth to the max weight seen, amortized away across reuse (pinned by alloc_regression.rs).
-                    buckets.resize(w + 1, Vec::new());
-                }
-                buckets[w].push(u);
-                if w > max_weight {
-                    max_weight = w;
-                }
+        for u in g.alive_neighbors(v, &unvisited) {
+            weight[u.index()] += 1;
+            let w = weight[u.index()];
+            if w >= buckets.len() {
+                // lint:allow(hot-path-alloc): bucket-spine growth to the max weight seen, amortized away across reuse (pinned by alloc_regression.rs).
+                buckets.resize(w + 1, Vec::new());
+            }
+            buckets[w].push(u);
+            if w > max_weight {
+                max_weight = w;
             }
         }
     }
+    ws.return_set_buf(unvisited);
     ws.return_usize_buf(weight);
     ws.return_bucket_list(buckets);
 }

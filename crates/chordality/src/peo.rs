@@ -55,9 +55,11 @@ pub fn is_perfect_elimination_ordering_in(ws: &mut Workspace, g: &Graph, order: 
             continue;
         }
         later.sort_by_key(|&u| pos[u.index()]);
+        // `p` is the earliest later neighbor; on dense graphs its bitset
+        // row answers each membership probe in O(1) words.
         let p = later[0];
         for &u in &later[1..] {
-            if !g.has_edge(p, u) {
+            if !g.has_edge_fast(p, u) {
                 return done(ws, pos, later, false);
             }
         }

@@ -31,11 +31,21 @@
 //! algebra per triple: `O(|V1|³)` set operations, no cycle enumeration.
 
 use crate::{is_chordal_bipartite, is_mn_chordal_bruteforce};
-use mcc_graph::{BipartiteGraph, CycleLimits, Graph, NodeSet, Side};
+use mcc_graph::{BipartiteGraph, CycleLimits, Graph, NodeId, Side, Workspace};
 
 /// Production (6,2)-chordality recognizer. See module docs.
+///
+/// Thin wrapper over [`is_six_two_chordal_in`] with a transient
+/// workspace.
 pub fn is_six_two_chordal(bg: &BipartiteGraph) -> bool {
-    is_chordal_bipartite(bg.graph()) && !has_sparse_six_cycle(bg)
+    is_six_two_chordal_in(&mut Workspace::new(), bg)
+}
+
+/// [`is_six_two_chordal`] through a workspace: the triple-intersection
+/// scan runs on pooled [`mcc_graph::BitRow`] scratch, so repeated
+/// classification calls stop re-allocating.
+pub fn is_six_two_chordal_in(ws: &mut Workspace, bg: &BipartiteGraph) -> bool {
+    is_chordal_bipartite(bg.graph()) && find_sparse_six_cycle_in(ws, bg).is_none()
 }
 
 /// `true` iff some 6-cycle of `bg` has at most one chord.
@@ -46,58 +56,94 @@ pub fn has_sparse_six_cycle(bg: &BipartiteGraph) -> bool {
 /// Finds a concrete 6-cycle with at most one chord, as its node sequence
 /// `x₁ y₁₂ x₂ y₂₃ x₃ y₃₁` — the violation witness behind a negative
 /// (6,2) verdict. `None` when every 6-cycle has ≥ 2 chords.
-pub fn find_sparse_six_cycle(bg: &BipartiteGraph) -> Option<Vec<mcc_graph::NodeId>> {
+///
+/// Thin wrapper over [`find_sparse_six_cycle_in`] with a transient
+/// workspace.
+pub fn find_sparse_six_cycle(bg: &BipartiteGraph) -> Option<Vec<NodeId>> {
+    find_sparse_six_cycle_in(&mut Workspace::new(), bg)
+}
+
+/// [`find_sparse_six_cycle`] through a workspace. The per-triple set
+/// algebra runs word-parallel on pooled [`mcc_graph::BitRow`] scratch:
+/// each adjacency row is loaded once per loop level (a `memcpy` when the
+/// graph keeps a dense bitset row for that node), and the pairwise /
+/// triple connector sets are computed by whole-word AND sweeps. The only
+/// steady-state allocation is the returned witness itself.
+pub fn find_sparse_six_cycle_in(ws: &mut Workspace, bg: &BipartiteGraph) -> Option<Vec<NodeId>> {
     let g = bg.graph();
     let n = g.node_count();
-    let v1: Vec<_> = bg.side_nodes(Side::V1).collect();
-    let nbr: Vec<NodeSet> = g
-        .nodes()
-        .map(|v| NodeSet::from_nodes(n, g.neighbors(v).iter().copied()))
-        .collect();
+    let mut v1 = ws.take_node_buf();
+    v1.extend(bg.side_nodes(Side::V1));
+    let mut row_i = ws.take_bit_row(n);
+    let mut row_j = ws.take_bit_row(n);
+    let mut row_k = ws.take_bit_row(n);
+    let mut c12 = ws.take_bit_row(n);
+    let mut c23 = ws.take_bit_row(n);
+    let mut c31 = ws.take_bit_row(n);
+    let mut c123 = ws.take_bit_row(n);
 
-    for i in 0..v1.len() {
+    let mut witness = None;
+    'search: for i in 0..v1.len() {
+        row_i.load_neighbors(g, v1[i]);
         for j in (i + 1)..v1.len() {
-            let c12 = nbr[v1[i].index()].intersection(&nbr[v1[j].index()]);
-            if c12.is_empty() {
+            row_j.load_neighbors(g, v1[j]);
+            c12.copy_from(&row_i);
+            c12.and_with(&row_j);
+            if c12.first().is_none() {
                 continue;
             }
             for k in (j + 1)..v1.len() {
-                let c23 = nbr[v1[j].index()].intersection(&nbr[v1[k].index()]);
-                if c23.is_empty() {
+                row_k.load_neighbors(g, v1[k]);
+                c23.copy_from(&row_j);
+                c23.and_with(&row_k);
+                if c23.first().is_none() {
                     continue;
                 }
-                let c31 = nbr[v1[k].index()].intersection(&nbr[v1[i].index()]);
-                if c31.is_empty() {
+                c31.copy_from(&row_k);
+                c31.and_with(&row_i);
+                if c31.first().is_none() {
                     continue;
                 }
-                let c123 = c12.intersection(&nbr[v1[k].index()]);
-                let a = c12.difference(&c123); // connectors missing the x3 chord
-                let b = c23.difference(&c123); // … missing the x1 chord
-                let d = c31.difference(&c123); // … missing the x2 chord
-                                               // A 6-cycle with ≤ 1 chord picks two private connectors
-                                               // from different pair-sets (the third connector is then
-                                               // automatically distinct from both); the remaining slot
-                                               // takes any connector of its pair.
+                c123.copy_from(&c12);
+                c123.and_with(&row_k);
+                let a = c12.first_andnot(&c123); // connector missing the x3 chord
+                let b = c23.first_andnot(&c123); // … missing the x1 chord
+                let d = c31.first_andnot(&c123); // … missing the x2 chord
+                                                 // A 6-cycle with ≤ 1 chord picks two private connectors
+                                                 // from different pair-sets (the third connector is then
+                                                 // automatically distinct from both); the remaining slot
+                                                 // takes any connector of its pair.
                 let (x1, x2, x3) = (v1[i], v1[j], v1[k]);
-                if let (Some(y12), Some(y23)) = (a.first(), b.first()) {
+                witness = if let (Some(y12), Some(y23)) = (a, b) {
                     // PROVABLY: every pair-connector set was checked nonempty when this triple was selected.
                     let y31 = c31.first().expect("checked nonempty");
-                    return Some(vec![x1, y12, x2, y23, x3, y31]);
-                }
-                if let (Some(y23), Some(y31)) = (b.first(), d.first()) {
+                    Some(vec![x1, y12, x2, y23, x3, y31])
+                } else if let (Some(y23), Some(y31)) = (b, d) {
                     // PROVABLY: every pair-connector set was checked nonempty when this triple was selected.
                     let y12 = c12.first().expect("checked nonempty");
-                    return Some(vec![x1, y12, x2, y23, x3, y31]);
-                }
-                if let (Some(y12), Some(y31)) = (a.first(), d.first()) {
+                    Some(vec![x1, y12, x2, y23, x3, y31])
+                } else if let (Some(y12), Some(y31)) = (a, d) {
                     // PROVABLY: every pair-connector set was checked nonempty when this triple was selected.
                     let y23 = c23.first().expect("checked nonempty");
-                    return Some(vec![x1, y12, x2, y23, x3, y31]);
+                    Some(vec![x1, y12, x2, y23, x3, y31])
+                } else {
+                    None
+                };
+                if witness.is_some() {
+                    break 'search;
                 }
             }
         }
     }
-    None
+    ws.return_bit_row(c123);
+    ws.return_bit_row(c31);
+    ws.return_bit_row(c23);
+    ws.return_bit_row(c12);
+    ws.return_bit_row(row_k);
+    ws.return_bit_row(row_j);
+    ws.return_bit_row(row_i);
+    ws.return_node_buf(v1);
+    witness
 }
 
 /// Definitional (6,2)-chordality by full cycle enumeration (exponential;

@@ -20,7 +20,7 @@
 //! draining until the queue is empty, so every admitted request gets its
 //! answer before [`Engine::shutdown`] returns.
 
-use crate::cache::{SchemaArtifactCache, SchemaId};
+use crate::cache::{CachedArtifacts, SchemaArtifactCache, SchemaId};
 use crate::request::{EngineError, QueryKind, QueryRequest, Rejected, Response, Ticket};
 use crate::stats::{Counters, EngineStats};
 use mcc::{SolveError, Solver, SolverConfig};
@@ -66,12 +66,34 @@ impl EngineConfig {
     }
 }
 
-struct Job {
+/// One unit of queued work: a lone request, or a same-schema group
+/// admitted together. A group occupies **one** queue slot and is served
+/// off a single artifact fetch and solver revalidation at pickup —
+/// that is the amortization [`Engine::submit_batch`] buys.
+enum Job {
+    Single(SingleJob),
+    Batch(BatchJob),
+}
+
+struct SingleJob {
     request: QueryRequest,
     reply: mpsc::Sender<Response>,
     /// Admission timestamp from the `mcc-obs` clock; a worker records
     /// `now − enqueued_nanos` into the queue-wait histogram at pickup.
     /// 0 when telemetry is disabled (the record is a no-op then too).
+    enqueued_nanos: u64,
+}
+
+/// One admitted request and the channel its answer goes back on.
+type BatchMember = (QueryRequest, mpsc::Sender<Response>);
+
+struct BatchJob {
+    /// The schema every member shares (structurally equal schemas share
+    /// one id — the cache dedups by fingerprint at registration, so
+    /// grouping by id *is* grouping by fingerprint).
+    schema: SchemaId,
+    /// Members in submission order, each with its reply channel.
+    members: Vec<BatchMember>,
     enqueued_nanos: u64,
 }
 
@@ -192,11 +214,11 @@ impl Engine {
                     .fetch_add(1, Ordering::Relaxed);
                 return Err(Rejected::QueueFull);
             }
-            q.jobs.push_back(Job {
+            q.jobs.push_back(Job::Single(SingleJob {
                 request,
                 reply: tx,
                 enqueued_nanos: mcc_obs::now_nanos(),
-            });
+            }));
             // Counted while still holding the queue lock (and `SeqCst`,
             // like the worker-side counters): a worker can only pop this
             // job after the lock is released, so its `solved`/`completed`
@@ -213,20 +235,87 @@ impl Engine {
         Ok(Ticket { rx })
     }
 
-    /// Submits a whole batch, stopping at the first rejection: returns
-    /// the tickets admitted so far plus the index of the rejected
-    /// request, if any.
+    /// Admits a whole batch through one front-door pass, grouping the
+    /// requests by schema: each same-schema group occupies **one** queue
+    /// slot and is served off a single artifact fetch and solver
+    /// revalidation (per-request [`mcc_graph::SolveBudget`]s are still
+    /// honored per member). Schema ids are cache slots keyed by
+    /// fingerprint, so structurally equal schemas land in one group.
+    ///
+    /// Admission is all-or-nothing: either every request is admitted
+    /// (one ticket each, in input order) or none is, with the rejection
+    /// reported as `Some((0, rejection))` and every request counted as
+    /// refused. An empty batch is a no-op.
     pub fn submit_batch(
         &self,
         requests: impl IntoIterator<Item = QueryRequest>,
     ) -> (Vec<Ticket>, Option<(usize, Rejected)>) {
-        let mut tickets = Vec::new();
-        for (i, request) in requests.into_iter().enumerate() {
-            match self.submit(request) {
-                Ok(t) => tickets.push(t),
-                Err(r) => return (tickets, Some((i, r))),
+        let requests: Vec<QueryRequest> = requests.into_iter().collect();
+        if requests.is_empty() {
+            return (Vec::new(), None);
+        }
+        let n = requests.len() as u64;
+        // Group by schema id, preserving the groups' first-appearance
+        // order and the input order within each group. Batches are
+        // small and schema counts smaller, so a linear scan beats a map.
+        let mut groups: Vec<(SchemaId, Vec<BatchMember>)> = Vec::new();
+        let mut tickets = Vec::with_capacity(requests.len());
+        for request in requests {
+            let (tx, rx) = mpsc::channel();
+            tickets.push(Ticket { rx });
+            match groups.iter_mut().find(|(s, _)| *s == request.schema) {
+                Some((_, members)) => members.push((request, tx)),
+                None => groups.push((request.schema, vec![(request, tx)])),
             }
         }
+        {
+            let mut q = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if q.shutdown {
+                self.shared
+                    .counters
+                    .rejected_shutdown
+                    .fetch_add(n, Ordering::Relaxed);
+                return (Vec::new(), Some((0, Rejected::Shutdown)));
+            }
+            if q.jobs.len() + groups.len() > self.shared.capacity {
+                self.shared
+                    .counters
+                    .rejected_full
+                    .fetch_add(n, Ordering::Relaxed);
+                return (Vec::new(), Some((0, Rejected::QueueFull)));
+            }
+            let enqueued_nanos = mcc_obs::now_nanos();
+            let n_groups = groups.len() as u64;
+            for (schema, members) in groups {
+                q.jobs.push_back(Job::Batch(BatchJob {
+                    schema,
+                    members,
+                    enqueued_nanos,
+                }));
+            }
+            // Same discipline as `submit`: counted inside the lock,
+            // `SeqCst`, and in the reverse of the snapshot's read order
+            // (`submitted`, then `batched_requests`, then `batches`) so
+            // a mid-load scrape always observes
+            // `batches ≤ batched_requests ≤ submitted`.
+            self.shared
+                .counters
+                .submitted
+                .fetch_add(n, Ordering::SeqCst);
+            self.shared
+                .counters
+                .batched_requests
+                .fetch_add(n, Ordering::SeqCst);
+            self.shared
+                .counters
+                .batches
+                .fetch_add(n_groups, Ordering::SeqCst);
+        }
+        self.shared.work_ready.notify_all();
         (tickets, None)
     }
 
@@ -311,56 +400,125 @@ fn worker_loop(shared: &Shared, solver_config: SolverConfig) {
             }
         };
         let Some(job) = job else { return };
-        // Queue wait: admission (under the lock) to pickup (just now).
-        mcc_obs::record_stage(
-            mcc_obs::SpanKind::QueueWait,
-            mcc_obs::now_nanos().saturating_sub(job.enqueued_nanos),
-        );
-        let _serve_span = mcc_obs::span!(Serve);
-        // Panic isolation: a panicking solve must cost one query, not the
-        // worker — a dead worker stops draining the queue and breaks the
-        // shutdown guarantee that every admitted request is answered. No
-        // lock is held across `serve`, so nothing is poisoned; the
-        // per-thread solver table may hold a half-updated solver, so it
-        // is discarded wholesale and lazily rebuilt from the shared
-        // artifact cache.
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            serve(shared, &mut solvers, solver_config, &job.request)
-        }));
-        let result = match outcome {
-            Ok(result) => result,
-            Err(payload) => {
-                solvers.clear();
-                let detail = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(EngineError::Solve(SolveError::Internal {
-                    stage: Stage::Session,
-                    detail: format!("solve panicked: {detail}"),
-                }))
+        match job {
+            Job::Single(job) => {
+                // Queue wait: admission (under the lock) to pickup (now).
+                mcc_obs::record_stage(
+                    mcc_obs::SpanKind::QueueWait,
+                    mcc_obs::now_nanos().saturating_sub(job.enqueued_nanos),
+                );
+                let _serve_span = mcc_obs::span!(Serve);
+                // Panic isolation: a panicking solve must cost one query,
+                // not the worker — a dead worker stops draining the queue
+                // and breaks the shutdown guarantee that every admitted
+                // request is answered. No lock is held across `serve`, so
+                // nothing is poisoned.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    serve(shared, &mut solvers, solver_config, &job.request)
+                }));
+                deliver(shared, &mut solvers, outcome, &job.reply);
             }
-        };
-        // Outcome counters are `SeqCst` to pair with the submit-side
-        // `submitted` increment — see `Counters` for the snapshot
-        // consistency argument (increments here run in the reverse of
-        // the snapshot's read order).
-        match &result {
-            Ok(sol) => {
-                shared.counters.solved.fetch_add(1, Ordering::SeqCst);
-                if sol.degraded.is_some() {
-                    shared.counters.degraded.fetch_add(1, Ordering::SeqCst);
-                }
-            }
-            Err(_) => {
-                shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+            Job::Batch(batch) => {
+                mcc_obs::record_stage(
+                    mcc_obs::SpanKind::QueueWait,
+                    mcc_obs::now_nanos().saturating_sub(batch.enqueued_nanos),
+                );
+                serve_batch(shared, &mut solvers, solver_config, batch);
             }
         }
-        // A dropped ticket is not an error: the request was served and
-        // counted either way.
-        let _ = job.reply.send(result);
-        shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Translates a (possibly panicked) serve outcome into the response,
+/// bumps the outcome counters, and sends the reply. On a panic the
+/// per-thread solver table may hold a half-updated solver, so it is
+/// discarded wholesale and lazily rebuilt from the shared artifact
+/// cache.
+///
+/// Outcome counters are `SeqCst` to pair with the submit-side
+/// `submitted` increment — see `Counters` for the snapshot consistency
+/// argument (increments here run in the reverse of the snapshot's read
+/// order).
+fn deliver(
+    shared: &Shared,
+    solvers: &mut HashMap<SchemaId, (u64, Solver)>,
+    outcome: std::thread::Result<Response>,
+    reply: &mpsc::Sender<Response>,
+) {
+    let result = match outcome {
+        Ok(result) => result,
+        Err(payload) => {
+            solvers.clear();
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(EngineError::Solve(SolveError::Internal {
+                stage: Stage::Session,
+                detail: format!("solve panicked: {detail}"),
+            }))
+        }
+    };
+    match &result {
+        Ok(sol) => {
+            shared.counters.solved.fetch_add(1, Ordering::SeqCst);
+            if sol.degraded.is_some() {
+                shared.counters.degraded.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        Err(_) => {
+            shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    // A dropped ticket is not an error: the request was served and
+    // counted either way.
+    let _ = reply.send(result);
+    shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Serves one same-schema group: one artifact fetch and one solver
+/// revalidation amortized over every member, with per-member panic
+/// isolation, budgets, counters, and replies. The single fetch is
+/// credited as one cache hit per member
+/// ([`SchemaArtifactCache::record_batch_hits`]) so the warm-request ↔
+/// cache-hit correspondence survives batching.
+fn serve_batch(
+    shared: &Shared,
+    solvers: &mut HashMap<SchemaId, (u64, Solver)>,
+    solver_config: SolverConfig,
+    batch: BatchJob,
+) {
+    mcc_obs::incr(mcc_obs::CounterKind::BatchGroup, 1);
+    mcc_obs::incr(
+        mcc_obs::CounterKind::BatchedRequest,
+        batch.members.len() as u64,
+    );
+    let cached = match shared.cache.artifacts(batch.schema) {
+        Ok(cached) => cached,
+        Err(e) => {
+            // The whole group fails the same way; each member is still
+            // answered and counted individually.
+            for (_, reply) in batch.members {
+                deliver(
+                    shared,
+                    solvers,
+                    Ok(Err(EngineError::Cache(e.clone()))),
+                    &reply,
+                );
+            }
+            return;
+        }
+    };
+    shared
+        .cache
+        .record_batch_hits(batch.members.len() as u64 - 1);
+    for (request, reply) in batch.members {
+        let _serve_span = mcc_obs::span!(Serve);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_with_artifacts(&cached, solvers, solver_config, &request)
+        }));
+        deliver(shared, solvers, outcome, &reply);
     }
 }
 
@@ -371,8 +529,24 @@ fn serve(
     solver_config: SolverConfig,
     request: &QueryRequest,
 ) -> Response {
+    let cached = shared
+        .cache
+        .artifacts(request.schema)
+        .map_err(EngineError::Cache)?;
+    serve_with_artifacts(&cached, solvers, solver_config, request)
+}
+
+/// Serves one request against an already-fetched artifact bundle — the
+/// shared tail of the single and batched paths. The batched path calls
+/// this once per member with the group's one fetch.
+fn serve_with_artifacts(
+    cached: &CachedArtifacts,
+    solvers: &mut HashMap<SchemaId, (u64, Solver)>,
+    solver_config: SolverConfig,
+    request: &QueryRequest,
+) -> Response {
     // Test-only fault injection: a reserved object name panics inside the
-    // serve path, letting the isolation regression test exercise the
+    // serve path, letting the isolation regression tests exercise the
     // worker's catch_unwind without a real solver bug.
     #[cfg(test)]
     {
@@ -380,10 +554,6 @@ fn serve(
             panic!("injected panic (worker isolation test)");
         }
     }
-    let cached = shared
-        .cache
-        .artifacts(request.schema)
-        .map_err(EngineError::Cache)?;
     // Revalidate this worker's solver: schema invalidation bumps the
     // generation, retiring every worker's cached solver at next pickup.
     let entry = solvers.entry(request.schema);

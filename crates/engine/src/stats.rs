@@ -29,6 +29,13 @@ pub(crate) struct Counters {
     pub degraded: AtomicU64,
     pub rejected_full: AtomicU64,
     pub rejected_shutdown: AtomicU64,
+    /// Same-schema groups admitted by [`crate::Engine::submit_batch`].
+    /// Bumped after `batched_requests`, which is bumped after
+    /// `submitted` (all inside the queue lock), so the snapshot's
+    /// reverse-order reads keep `batches ≤ batched_requests ≤ submitted`.
+    pub batches: AtomicU64,
+    /// Requests admitted as members of batch groups.
+    pub batched_requests: AtomicU64,
 }
 
 /// The counter fields of one consistent snapshot (everything in
@@ -41,6 +48,8 @@ pub(crate) struct CounterSnapshot {
     pub degraded: u64,
     pub rejected_full: u64,
     pub rejected_shutdown: u64,
+    pub batches: u64,
+    pub batched_requests: u64,
 }
 
 impl Counters {
@@ -49,6 +58,8 @@ impl Counters {
     /// with `SeqCst` increments, keeps `solved + failed ≤ submitted` in
     /// every snapshot).
     pub(crate) fn snapshot(&self) -> CounterSnapshot {
+        let batches = self.batches.load(Ordering::SeqCst);
+        let batched_requests = self.batched_requests.load(Ordering::SeqCst);
         let completed = self.completed.load(Ordering::SeqCst);
         let degraded = self.degraded.load(Ordering::SeqCst);
         let solved = self.solved.load(Ordering::SeqCst);
@@ -64,6 +75,8 @@ impl Counters {
             degraded,
             rejected_full,
             rejected_shutdown,
+            batches,
+            batched_requests,
         }
     }
 }
@@ -90,6 +103,13 @@ pub struct EngineStats {
     pub rejected_full: u64,
     /// Submissions refused because the engine was shutting down.
     pub rejected_shutdown: u64,
+    /// Same-schema request groups admitted by
+    /// [`crate::Engine::submit_batch`] — each costs one queue slot and
+    /// one artifact fetch plus solver revalidation at pickup.
+    pub batches: u64,
+    /// Requests admitted as members of batch groups; `batched_requests /
+    /// batches` is the mean batch size (the amortization factor).
+    pub batched_requests: u64,
     /// Artifact-cache lookups served without schema-level work. Warm
     /// solves hit; a steady-state engine does **only** per-query work.
     pub cache_hits: u64,
@@ -101,7 +121,7 @@ pub struct EngineStats {
 /// The engine-level metric families [`EngineStats::render_prometheus`]
 /// emits, in output order: `(name, type, help)`. Public so the snapshot
 /// test (and any scrape consumer) can assert the name table.
-pub const ENGINE_METRICS: [(&str, &str, &str); 10] = [
+pub const ENGINE_METRICS: [(&str, &str, &str); 12] = [
     (
         "mcc_engine_queue_depth",
         "gauge",
@@ -143,6 +163,16 @@ pub const ENGINE_METRICS: [(&str, &str, &str); 10] = [
         "Submissions refused because the engine was shutting down.",
     ),
     (
+        "mcc_engine_batches_total",
+        "counter",
+        "Same-schema request groups admitted by submit_batch.",
+    ),
+    (
+        "mcc_engine_batched_requests_total",
+        "counter",
+        "Requests admitted as members of batch groups.",
+    ),
+    (
         "mcc_engine_cache_hits_total",
         "counter",
         "Artifact-cache lookups served without schema-level work.",
@@ -171,6 +201,8 @@ impl EngineStats {
             degraded: c.degraded,
             rejected_full: c.rejected_full,
             rejected_shutdown: c.rejected_shutdown,
+            batches: c.batches,
+            batched_requests: c.batched_requests,
             cache_hits,
             cache_misses,
         }
@@ -190,7 +222,7 @@ impl EngineStats {
 
     /// [`EngineStats::render_prometheus`], appending into `out`.
     pub fn render_prometheus_into(&self, out: &mut String) {
-        let values: [u64; 10] = [
+        let values: [u64; 12] = [
             self.queue_depth as u64,
             self.submitted,
             self.completed,
@@ -199,6 +231,8 @@ impl EngineStats {
             self.degraded,
             self.rejected_full,
             self.rejected_shutdown,
+            self.batches,
+            self.batched_requests,
             self.cache_hits,
             self.cache_misses,
         ];
@@ -216,7 +250,8 @@ impl fmt::Display for EngineStats {
         write!(
             f,
             "queue {} deep; {} submitted, {} completed ({} solved, {} failed, {} degraded); \
-             rejected {} full + {} shutdown; cache {} hits / {} misses",
+             rejected {} full + {} shutdown; {} batches / {} batched requests; \
+             cache {} hits / {} misses",
             self.queue_depth,
             self.submitted,
             self.completed,
@@ -225,6 +260,8 @@ impl fmt::Display for EngineStats {
             self.degraded,
             self.rejected_full,
             self.rejected_shutdown,
+            self.batches,
+            self.batched_requests,
             self.cache_hits,
             self.cache_misses
         )

@@ -152,6 +152,110 @@ fn warm_solves_skip_schema_work_per_engine_stats() {
     assert_eq!(engine.stats().cache_misses, 2);
 }
 
+/// `got` must be the same solution (or the same solver error) as the
+/// cold single-threaded reference.
+fn assert_matches_reference(
+    got: &Result<mcc::Solution, EngineError>,
+    want: &Result<mcc::Solution, mcc::SolveError>,
+) {
+    match (got, want) {
+        (Ok(sol), Ok(want)) => assert_eq!(sol, want),
+        (Err(EngineError::Solve(e)), Err(want)) => assert_eq!(e, want),
+        (got, want) => panic!("mismatch: got {got:?}, want {want:?}"),
+    }
+}
+
+#[test]
+fn mixed_schema_batches_interleave_with_single_solves() {
+    use mcc::SolveBudget;
+
+    const THREADS: usize = 6;
+    const ROUNDS: usize = 6;
+    let engine = Engine::new(EngineConfig::with_workers(4));
+    let schemas = schema_mix();
+    let ids: Vec<_> = schemas
+        .iter()
+        .map(|s| engine.register(s.clone()).expect("register"))
+        .collect();
+    let queries: Vec<Vec<String>> = schemas.iter().map(span_query).collect();
+    let expected: Vec<_> = schemas
+        .iter()
+        .zip(&queries)
+        .map(|(s, q)| cold_reference(s, q, QueryKind::Steiner))
+        .collect();
+    // A zero-duration deadline trips at the first check of its own
+    // solve, wherever in a batch group that member lands.
+    let starved = SolveBudget::with_deadline(std::time::Duration::ZERO);
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let engine = &engine;
+            let ids = &ids;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                for r in 0..ROUNDS {
+                    // Two members per schema (so same-schema grouping is
+                    // real) plus one starved member whose per-request
+                    // budget must be enforced inside its group.
+                    let mut members = Vec::new();
+                    for k in 0..2 * ids.len() {
+                        let which = (t + r + k) % ids.len();
+                        let names: Vec<&str> = queries[which].iter().map(String::as_str).collect();
+                        members.push((which, QueryRequest::steiner(ids[which], &names)));
+                    }
+                    let starved_at = members.len();
+                    let names: Vec<&str> = queries[0].iter().map(String::as_str).collect();
+                    members.push((
+                        usize::MAX,
+                        QueryRequest::steiner(ids[0], &names).with_budget(starved),
+                    ));
+                    let (tickets, rejected) =
+                        engine.submit_batch(members.iter().map(|(_, req)| req.clone()));
+                    assert!(rejected.is_none(), "queue sized for the load");
+                    assert_eq!(tickets.len(), members.len());
+
+                    // An interleaved single solve races the batch.
+                    let which = (t + r) % ids.len();
+                    let names: Vec<&str> = queries[which].iter().map(String::as_str).collect();
+                    let single = engine
+                        .submit(QueryRequest::steiner(ids[which], &names))
+                        .expect("admitted")
+                        .wait();
+                    assert_matches_reference(&single, &expected[which]);
+
+                    // Tickets map positionally onto the submitted batch,
+                    // whatever schema groups the front door formed.
+                    for (i, (ticket, (which, _))) in tickets.into_iter().zip(&members).enumerate() {
+                        let got = ticket.wait();
+                        if i == starved_at {
+                            assert!(
+                                matches!(got, Err(EngineError::Solve(mcc::SolveError::Budget(_)))),
+                                "starved member must trip its own budget"
+                            );
+                        } else {
+                            assert_matches_reference(&got, &expected[*which]);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = engine.shutdown();
+    let per_batch = 2 * schemas.len() + 1;
+    let batch_members = (THREADS * ROUNDS * per_batch) as u64;
+    let singles = (THREADS * ROUNDS) as u64;
+    assert_eq!(stats.submitted, batch_members + singles);
+    assert_eq!(stats.completed, stats.submitted);
+    assert_eq!(stats.solved + stats.failed, stats.completed);
+    assert_eq!(stats.failed, (THREADS * ROUNDS) as u64); // the starved members
+    assert_eq!(stats.batched_requests, batch_members);
+    // Every batch covers all three schemas, so it forms three groups.
+    assert_eq!(stats.batches, (THREADS * ROUNDS * schemas.len()) as u64);
+    assert_eq!(stats.queue_depth, 0);
+}
+
 #[test]
 fn shutdown_under_load_drains_every_admitted_request() {
     const LOAD: usize = 200;
@@ -171,6 +275,10 @@ fn shutdown_under_load_drains_every_admitted_request() {
     // the drain contract says every admitted request is still answered.
     let stats = engine.shutdown();
     assert_eq!(stats.completed, LOAD as u64);
+    // Batch accounting is conserved across the drain: every admitted
+    // member was counted at admission and served before exit.
+    assert_eq!(stats.batched_requests, LOAD as u64);
+    assert_eq!(stats.batches, 1, "one schema, one group");
     assert_eq!(stats.queue_depth, 0);
     for t in tickets {
         assert!(

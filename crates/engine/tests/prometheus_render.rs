@@ -16,6 +16,8 @@ fn sample() -> EngineStats {
         degraded: 7,
         rejected_full: 2,
         rejected_shutdown: 1,
+        batches: 6,
+        batched_requests: 48,
         cache_hits: 88,
         cache_misses: 5,
     }
@@ -48,6 +50,12 @@ mcc_engine_rejected_full_total 2
 # HELP mcc_engine_rejected_shutdown_total Submissions refused because the engine was shutting down.
 # TYPE mcc_engine_rejected_shutdown_total counter
 mcc_engine_rejected_shutdown_total 1
+# HELP mcc_engine_batches_total Same-schema request groups admitted by submit_batch.
+# TYPE mcc_engine_batches_total counter
+mcc_engine_batches_total 6
+# HELP mcc_engine_batched_requests_total Requests admitted as members of batch groups.
+# TYPE mcc_engine_batched_requests_total counter
+mcc_engine_batched_requests_total 48
 # HELP mcc_engine_cache_hits_total Artifact-cache lookups served without schema-level work.
 # TYPE mcc_engine_cache_hits_total counter
 mcc_engine_cache_hits_total 88

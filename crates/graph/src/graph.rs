@@ -1,6 +1,15 @@
 //! The immutable core graph type.
 
-use crate::{GraphBuilder, NodeId};
+use crate::{GraphBuilder, NodeId, NodeSet};
+
+/// Sentinel in the per-node dense-row table marking a CSR-only row.
+const SPARSE_ROW: u32 = u32::MAX;
+
+/// Largest node count on which `Graph::from_parts` runs the
+/// [`check_adjacency_symmetric`] certificate in debug builds (the check
+/// is `O(Σ deg · log deg)` and exists for cross-validation, not for
+/// production-scale inputs).
+pub const CHECK_ADJACENCY_MAX_NODES: usize = 2048;
 
 /// A finite, simple, undirected graph with string-labelled nodes.
 ///
@@ -8,7 +17,7 @@ use crate::{GraphBuilder, NodeId};
 /// which its adjacency lists are sorted and deduplicated. All algorithms in
 /// the workspace that need to "delete" nodes (the elimination procedures of
 /// the paper's Algorithms 1 and 2) do so by masking with a
-/// [`NodeSet`](crate::NodeSet) instead of mutating the graph, so a single
+/// [`NodeSet`] instead of mutating the graph, so a single
 /// `Graph` value can back many concurrent computations.
 ///
 /// Node labels exist purely for presentation (figures, DOT output, query
@@ -19,7 +28,20 @@ use crate::{GraphBuilder, NodeId};
 /// per-node `offsets` table. `neighbors(v)` is a slice into `targets`, so
 /// traversals walk one contiguous allocation instead of chasing a pointer
 /// per node.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// # Hybrid bitset rows
+///
+/// Alongside the CSR arrays, `from_parts` builds a dense `u64`-block
+/// bitset row for every *high-degree* node — one bit per potential
+/// neighbor, `⌈n/64⌉` words per row. A node gets a dense row exactly when
+/// walking its bitset words costs no more than walking its CSR slice
+/// (`degree ≥ ⌈n/64⌉`), which bounds the extra memory by `O(m)` words
+/// total while turning the hot probes ([`Graph::has_edge_fast`],
+/// [`Graph::intersect_count`], [`Graph::neighbors_subset_of`],
+/// [`Graph::alive_neighbors`]) into word-AND/popcount sweeps on exactly
+/// the rows where that wins. Low-degree rows fall back to the CSR slice,
+/// where a short sorted scan is already optimal.
+#[derive(Clone)]
 pub struct Graph {
     labels: Vec<String>,
     /// Row offsets: the neighbors of node `i` occupy
@@ -28,7 +50,29 @@ pub struct Graph {
     /// All adjacency lists, back to back; each row sorted and deduplicated.
     targets: Vec<NodeId>,
     num_edges: usize,
+    /// Per-node dense-row table: [`SPARSE_ROW`] for CSR-only nodes, else
+    /// the row index into `bit_words` (row `r` occupies words
+    /// `r * words_per_row ..`).
+    bit_rows: Vec<u32>,
+    /// Dense bitset rows, back to back, `words_per_row` words each.
+    bit_words: Vec<u64>,
+    /// Words per dense row: `⌈node_count / 64⌉`.
+    words_per_row: usize,
 }
+
+/// Graphs compare by their adjacency structure and labels only: the
+/// hybrid bitset acceleration is derived data (and tunable via
+/// [`Graph::rebuild_bit_rows`]), so it never affects equality.
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels == other.labels
+            && self.offsets == other.offsets
+            && self.targets == other.targets
+            && self.num_edges == other.num_edges
+    }
+}
+
+impl Eq for Graph {}
 
 impl Graph {
     pub(crate) fn from_parts(labels: Vec<String>, adj: Vec<Vec<NodeId>>, num_edges: usize) -> Self {
@@ -45,11 +89,59 @@ impl Graph {
             targets.extend_from_slice(&list);
             offsets.push(targets.len() as u32);
         }
-        Graph {
+        let mut g = Graph {
             labels,
             offsets,
             targets,
             num_edges,
+            bit_rows: Vec::new(),
+            bit_words: Vec::new(),
+            words_per_row: 0,
+        };
+        g.rebuild_bit_rows(Self::default_dense_threshold(g.node_count()));
+        debug_assert!(
+            g.node_count() > CHECK_ADJACENCY_MAX_NODES || check_adjacency_symmetric(&g),
+            "adjacency build produced an asymmetric or inconsistent graph"
+        );
+        g
+    }
+
+    /// The default density threshold: a node gets a dense bitset row when
+    /// its degree is at least the number of words such a row occupies, so
+    /// a word sweep over the row never reads more memory than the CSR
+    /// slice it replaces.
+    pub fn default_dense_threshold(n: usize) -> usize {
+        n.div_ceil(64).max(1)
+    }
+
+    /// Rebuilds the dense bitset rows with an explicit degree threshold:
+    /// every node of degree `≥ min_degree` gets a dense row. `0` forces a
+    /// dense row for every non-isolated node (an all-zero row for a
+    /// degree-0 node would change nothing), `usize::MAX` forces pure CSR.
+    /// Intended
+    /// for the differential tests and the density-sweep benchmarks; the
+    /// builder installs [`Graph::default_dense_threshold`] automatically.
+    pub fn rebuild_bit_rows(&mut self, min_degree: usize) {
+        let n = self.node_count();
+        self.words_per_row = n.div_ceil(64);
+        self.bit_rows.clear();
+        self.bit_rows.resize(n, SPARSE_ROW);
+        self.bit_words.clear();
+        let mut next_row: u32 = 0;
+        for v in 0..n {
+            let v = NodeId::from_index(v);
+            if self.degree(v) < min_degree.max(1) {
+                continue;
+            }
+            let start = self.bit_words.len();
+            self.bit_words.resize(start + self.words_per_row, 0);
+            let (lo, hi) = (self.offsets[v.index()], self.offsets[v.index() + 1]);
+            for k in lo..hi {
+                let i = self.targets[k as usize].index();
+                self.bit_words[start + i / 64] |= 1u64 << (i % 64);
+            }
+            self.bit_rows[v.index()] = next_row;
+            next_row += 1;
         }
     }
 
@@ -60,6 +152,9 @@ impl Graph {
             offsets: vec![0],
             targets: Vec::new(),
             num_edges: 0,
+            bit_rows: Vec::new(),
+            bit_words: Vec::new(),
+            words_per_row: 0,
         }
     }
 
@@ -126,6 +221,107 @@ impl Graph {
         self.neighbors(a).binary_search(&b).is_ok()
     }
 
+    /// The dense bitset row of `v`, when `v` is above the density
+    /// threshold: `⌈n/64⌉` words, bit `i % 64` of word `i / 64` set iff
+    /// `i ∈ Adj(v)`. `None` for CSR-only (sparse) rows.
+    #[inline]
+    pub fn neighbors_bits(&self, v: NodeId) -> Option<&[u64]> {
+        let r = self.bit_rows[v.index()];
+        if r == SPARSE_ROW {
+            None
+        } else {
+            let start = r as usize * self.words_per_row;
+            Some(&self.bit_words[start..start + self.words_per_row])
+        }
+    }
+
+    /// `true` iff any node currently carries a dense bitset row — the
+    /// cue for level-synchronous word-parallel sweeps (e.g. the frontier
+    /// BFS in [`crate::terminals_connected_in`]) to pay off. A graph with
+    /// no dense rows is sparse enough that per-neighbor scans win.
+    #[inline]
+    pub fn has_dense_rows(&self) -> bool {
+        !self.bit_words.is_empty()
+    }
+
+    /// [`Graph::has_edge`] through the hybrid representation: an `O(1)`
+    /// bit test when either endpoint has a dense row, else a binary
+    /// search probing the lower-degree endpoint. Answers are identical to
+    /// `has_edge` (the differential suite pins this).
+    #[inline]
+    pub fn has_edge_fast(&self, a: NodeId, b: NodeId) -> bool {
+        if let Some(row) = self.neighbors_bits(a) {
+            let i = b.index();
+            return (row[i / 64] >> (i % 64)) & 1 == 1;
+        }
+        if let Some(row) = self.neighbors_bits(b) {
+            let i = a.index();
+            return (row[i / 64] >> (i % 64)) & 1 == 1;
+        }
+        if self.degree(a) <= self.degree(b) {
+            self.has_edge(a, b)
+        } else {
+            self.has_edge(b, a)
+        }
+    }
+
+    /// `|Adj(v) ∩ set|`: a word-AND/popcount sweep when `v` has a dense
+    /// row, else a CSR membership scan.
+    #[inline]
+    pub fn intersect_count(&self, v: NodeId, set: &NodeSet) -> usize {
+        debug_assert_eq!(set.capacity(), self.node_count(), "set universe mismatch");
+        match self.neighbors_bits(v) {
+            Some(row) => row
+                .iter()
+                .zip(set.words())
+                .map(|(a, b)| (a & b).count_ones() as usize)
+                .sum(),
+            None => self
+                .neighbors(v)
+                .iter()
+                .filter(|&&u| set.contains(u))
+                .count(),
+        }
+    }
+
+    /// `Adj(v) ⊆ set`: a word-level `a & !b == 0` sweep when `v` has a
+    /// dense row, else a CSR membership scan. Both paths short-circuit on
+    /// the first witness outside `set`.
+    #[inline]
+    pub fn neighbors_subset_of(&self, v: NodeId, set: &NodeSet) -> bool {
+        debug_assert_eq!(set.capacity(), self.node_count(), "set universe mismatch");
+        match self.neighbors_bits(v) {
+            Some(row) => row.iter().zip(set.words()).all(|(a, b)| a & !b == 0),
+            None => self.neighbors(v).iter().all(|&u| set.contains(u)),
+        }
+    }
+
+    /// Iterates `Adj(v) ∩ alive` — the alive-mask neighbor loop every
+    /// elimination algorithm runs. For dense rows the iterator walks
+    /// `row & alive` one word at a time (64 neighbors per AND); for
+    /// sparse rows it filters the CSR slice.
+    #[inline]
+    pub fn alive_neighbors<'a>(&'a self, v: NodeId, alive: &'a NodeSet) -> AliveNeighbors<'a> {
+        debug_assert_eq!(
+            alive.capacity(),
+            self.node_count(),
+            "alive universe mismatch"
+        );
+        let inner = match self.neighbors_bits(v) {
+            Some(row) => AliveInner::Dense {
+                row,
+                mask: alive.words(),
+                wi: 0,
+                cur: 0,
+            },
+            None => AliveInner::Sparse {
+                iter: self.neighbors(v).iter(),
+                alive,
+            },
+        };
+        AliveNeighbors { inner }
+    }
+
     /// Iterates every undirected edge once, as ordered pairs `(a, b)` with
     /// `a < b`, in lexicographic order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
@@ -140,15 +336,32 @@ impl Graph {
 
     /// The set `Adj(W)` of the paper: all nodes adjacent to at least one
     /// node of `w` (note that members of `w` themselves appear only if they
-    /// have a neighbor in `w`).
+    /// have a neighbor in `w`). Allocates the result; hot paths use
+    /// [`Graph::adjacent_to_set_into`] with a workspace scratch set.
     pub fn adjacent_to_set(&self, w: &crate::NodeSet) -> crate::NodeSet {
         let mut out = crate::NodeSet::new(self.node_count());
+        self.adjacent_to_set_into(w, &mut out);
+        out
+    }
+
+    /// Allocation-free [`Graph::adjacent_to_set`]: re-fits `out` to this
+    /// graph's universe, clears it, and fills it with `Adj(W)`. Dense
+    /// source rows are ORed in whole words at a time; sparse rows insert
+    /// their CSR entries.
+    pub fn adjacent_to_set_into(&self, w: &crate::NodeSet, out: &mut crate::NodeSet) {
+        assert_eq!(w.capacity(), self.node_count(), "set universe mismatch");
+        out.reset(self.node_count());
         for v in w.iter() {
-            for &u in self.neighbors(v) {
-                out.insert(u);
+            match self.neighbors_bits(v) {
+                Some(row) => out.or_words(row),
+                None => {
+                    for &u in self.neighbors(v) {
+                        out.insert(u);
+                    }
+                }
             }
         }
-        out
+        out.recount();
     }
 
     /// The set `Adj*(v)` used by the paper's Algorithm 1: nodes adjacent to
@@ -165,18 +378,114 @@ impl Graph {
     /// order.
     pub fn private_neighbors_into(&self, v: NodeId, alive: &crate::NodeSet, out: &mut Vec<NodeId>) {
         out.clear();
-        'cand: for &u in self.neighbors(v) {
-            if !alive.contains(u) {
-                continue;
+        for &u in self.neighbors(v) {
+            if alive.contains(u) && self.no_alive_neighbor_but(u, alive, v) {
+                out.push(u);
             }
-            for &w in self.neighbors(u) {
-                if w != v && alive.contains(w) {
-                    continue 'cand;
-                }
-            }
-            out.push(u);
         }
     }
+
+    /// `Adj(u) ∩ alive ⊆ {v}` — the privacy test of Algorithm 1's `Adj*`.
+    /// Word-parallel when `u` has a dense row (mask `v`'s bit out of its
+    /// word, then `row & alive` must vanish), CSR scan otherwise; both
+    /// paths short-circuit on the first other alive neighbor.
+    #[inline]
+    fn no_alive_neighbor_but(&self, u: NodeId, alive: &crate::NodeSet, v: NodeId) -> bool {
+        match self.neighbors_bits(u) {
+            Some(row) => {
+                let (vw, vb) = (v.index() / 64, 1u64 << (v.index() % 64));
+                row.iter()
+                    .zip(alive.words())
+                    .enumerate()
+                    .all(|(wi, (a, b))| {
+                        let mut x = a & b;
+                        if wi == vw {
+                            x &= !vb;
+                        }
+                        x == 0
+                    })
+            }
+            None => self
+                .neighbors(u)
+                .iter()
+                .all(|&w| w == v || !alive.contains(w)),
+        }
+    }
+}
+
+/// Iterator over `Adj(v) ∩ alive`; see [`Graph::alive_neighbors`].
+pub struct AliveNeighbors<'a> {
+    inner: AliveInner<'a>,
+}
+
+enum AliveInner<'a> {
+    Dense {
+        row: &'a [u64],
+        mask: &'a [u64],
+        wi: usize,
+        cur: u64,
+    },
+    Sparse {
+        iter: std::slice::Iter<'a, NodeId>,
+        alive: &'a NodeSet,
+    },
+}
+
+impl Iterator for AliveNeighbors<'_> {
+    type Item = NodeId;
+
+    #[inline]
+    fn next(&mut self) -> Option<NodeId> {
+        match &mut self.inner {
+            AliveInner::Dense { row, mask, wi, cur } => loop {
+                if *cur != 0 {
+                    let tz = cur.trailing_zeros() as usize;
+                    *cur &= *cur - 1;
+                    return Some(NodeId::from_index((*wi - 1) * 64 + tz));
+                }
+                if *wi >= row.len() {
+                    return None;
+                }
+                *cur = row[*wi] & mask[*wi];
+                *wi += 1;
+            },
+            AliveInner::Sparse { iter, alive } => iter.find(|&&u| alive.contains(u)).copied(),
+        }
+    }
+}
+
+/// Debug-build certificate for the adjacency substrate (PR-4 style):
+/// every CSR row is strictly sorted (so deduplicated) and self-loop
+/// free, every edge is stored symmetrically, and every dense bitset row
+/// agrees bit-for-bit with its CSR row — which makes
+/// [`Graph::has_edge_fast`] and [`Graph::has_edge`] provably
+/// interchangeable. `Graph::from_parts` asserts this in debug builds up
+/// to [`CHECK_ADJACENCY_MAX_NODES`] nodes.
+pub fn check_adjacency_symmetric(g: &Graph) -> bool {
+    for v in g.nodes() {
+        let row = g.neighbors(v);
+        if !row.windows(2).all(|w| w[0] < w[1]) {
+            return false; // unsorted or duplicated entries
+        }
+        for &u in row {
+            if u == v || u.index() >= g.node_count() || !g.has_edge(u, v) {
+                return false; // self-loop, out of range, or asymmetric
+            }
+        }
+        if let Some(bits) = g.neighbors_bits(v) {
+            let popcount: usize = bits.iter().map(|w| w.count_ones() as usize).sum();
+            if popcount != row.len() {
+                return false; // dense row carries extra or missing bits
+            }
+            for &u in row {
+                let i = u.index();
+                if (bits[i / 64] >> (i % 64)) & 1 == 0 {
+                    return false; // CSR neighbor absent from the dense row
+                }
+            }
+        }
+    }
+    true
 }
 
 impl std::fmt::Debug for Graph {
@@ -286,5 +595,117 @@ mod tests {
         let s = format!("{g:?}");
         assert!(s.contains("n=3"));
         assert!(s.contains("[b]"));
+    }
+
+    /// A K5 with one pendant: every clique node is dense at threshold 1,
+    /// the pendant's neighbor list has length 1.
+    fn k5_pendant() -> Graph {
+        let mut b = Graph::builder();
+        for i in 0..6 {
+            b.add_node(format!("v{i}"));
+        }
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b.add_edge(NodeId(i), NodeId(j)).unwrap();
+            }
+        }
+        b.add_edge(NodeId(4), NodeId(5)).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn has_edge_fast_agrees_under_every_threshold() {
+        let mut g = k5_pendant();
+        for threshold in [0, 3, usize::MAX] {
+            g.rebuild_bit_rows(threshold);
+            assert!(check_adjacency_symmetric(&g), "threshold {threshold}");
+            for a in g.nodes() {
+                for b in g.nodes() {
+                    assert_eq!(
+                        g.has_edge_fast(a, b),
+                        g.has_edge(a, b),
+                        "threshold {threshold}, pair ({a:?}, {b:?})"
+                    );
+                }
+                // No self-loops through either path.
+                assert!(!g.has_edge_fast(a, a));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_bits_only_on_dense_rows() {
+        let mut g = k5_pendant();
+        g.rebuild_bit_rows(2);
+        // Clique nodes have degree ≥ 4 → dense; the pendant (degree 1)
+        // stays CSR.
+        assert!(g.neighbors_bits(NodeId(0)).is_some());
+        assert!(g.neighbors_bits(NodeId(5)).is_none());
+        let bits = g.neighbors_bits(NodeId(4)).unwrap();
+        let members: usize = bits.iter().map(|w| w.count_ones() as usize).sum();
+        assert_eq!(members, g.degree(NodeId(4)));
+        g.rebuild_bit_rows(usize::MAX);
+        assert!(g.neighbors_bits(NodeId(0)).is_none());
+    }
+
+    #[test]
+    fn word_level_ops_agree_with_definitions() {
+        let mut g = k5_pendant();
+        let set = NodeSet::from_nodes(6, [NodeId(0), NodeId(2), NodeId(5)]);
+        for threshold in [0, 3, usize::MAX] {
+            g.rebuild_bit_rows(threshold);
+            for v in g.nodes() {
+                let expect_count = g.neighbors(v).iter().filter(|&&u| set.contains(u)).count();
+                assert_eq!(g.intersect_count(v, &set), expect_count);
+                let expect_subset = g.neighbors(v).iter().all(|&u| set.contains(u));
+                assert_eq!(g.neighbors_subset_of(v, &set), expect_subset);
+                let alive: Vec<NodeId> = g.alive_neighbors(v, &set).collect();
+                let expect_alive: Vec<NodeId> = g
+                    .neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| set.contains(u))
+                    .collect();
+                assert_eq!(alive, expect_alive, "threshold {threshold}, v={v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_to_set_into_matches_allocating_variant() {
+        let mut g = k5_pendant();
+        let w = NodeSet::from_nodes(6, [NodeId(4), NodeId(5)]);
+        let mut out = NodeSet::new(1); // wrong universe on purpose: _into re-fits
+        for threshold in [0, 3, usize::MAX] {
+            g.rebuild_bit_rows(threshold);
+            g.adjacent_to_set_into(&w, &mut out);
+            assert_eq!(out, g.adjacent_to_set(&w), "threshold {threshold}");
+            assert_eq!(out.len(), 6); // Adj({4,5}) = everything (4 sees all)
+        }
+    }
+
+    #[test]
+    fn private_neighbors_agree_across_representations() {
+        let mut g = k5_pendant();
+        let mut alive = NodeSet::full(6);
+        alive.remove(NodeId(3));
+        let mut dense = Vec::new();
+        let mut sparse = Vec::new();
+        g.rebuild_bit_rows(0);
+        g.private_neighbors_into(NodeId(4), &alive, &mut dense);
+        g.rebuild_bit_rows(usize::MAX);
+        g.private_neighbors_into(NodeId(4), &alive, &mut sparse);
+        assert_eq!(dense, sparse);
+        assert_eq!(dense, vec![NodeId(5)]); // the pendant is private to 4
+    }
+
+    #[test]
+    fn empty_graph_survives_the_fast_paths() {
+        let g = Graph::empty();
+        assert!(check_adjacency_symmetric(&g));
+        let w = NodeSet::new(0);
+        let mut out = NodeSet::new(0);
+        g.adjacent_to_set_into(&w, &mut out);
+        assert!(out.is_empty());
     }
 }

@@ -53,7 +53,7 @@ pub use connectivity::{
 };
 pub use cycles::{chords_of_cycle, enumerate_cycles, Cycle, CycleLimits};
 pub use error::GraphError;
-pub use graph::Graph;
+pub use graph::{check_adjacency_symmetric, AliveNeighbors, Graph, CHECK_ADJACENCY_MAX_NODES};
 pub use ids::NodeId;
 pub use nodeset::NodeSet;
 pub use paths::{all_pairs_distances, bfs_distances, shortest_path, INFINITE_DISTANCE};
@@ -61,4 +61,4 @@ pub use spanning::spanning_tree;
 pub use stats::{graph_stats, GraphStats};
 pub use subgraph::{induced_subgraph, InducedSubgraph};
 pub use traversal::{bfs_order, bfs_order_in, dfs_order};
-pub use workspace::{Workspace, WorkspaceStats};
+pub use workspace::{BitRow, Workspace, WorkspaceStats};

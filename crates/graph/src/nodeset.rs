@@ -216,10 +216,45 @@ impl NodeSet {
             .all(|(a, b)| a & !b == 0)
     }
 
+    /// `|self ∩ other|` without materializing the intersection.
+    pub fn intersection_len(&self, other: &NodeSet) -> usize {
+        assert_eq!(self.capacity, other.capacity, "NodeSet universes differ");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
     /// `true` iff the two sets share no member.
     pub fn is_disjoint_from(&self, other: &NodeSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "NodeSet universes differ");
         self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// The raw `u64` words backing this set (bit `i % 64` of word
+    /// `i / 64` is node `i`). Crate-internal: the graph's word-parallel
+    /// adjacency sweeps read these directly; the representation stays
+    /// private outside the crate.
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// ORs a raw word row into this set **without maintaining `len`**.
+    /// Callers must finish their word-level writes with
+    /// [`NodeSet::recount`] before the set is used as a set again.
+    #[inline]
+    pub(crate) fn or_words(&mut self, row: &[u64]) {
+        debug_assert_eq!(row.len(), self.words.len(), "word row length mismatch");
+        for (a, b) in self.words.iter_mut().zip(row) {
+            *a |= b;
+        }
+    }
+
+    /// Recomputes `len` from the stored words after raw word writes.
+    pub(crate) fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
     }
 
     /// An arbitrary member (the smallest), if any.

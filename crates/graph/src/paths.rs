@@ -18,8 +18,8 @@ pub fn bfs_distances(g: &Graph, alive: &NodeSet, start: NodeId) -> Vec<u32> {
     queue.push_back(start);
     while let Some(v) = queue.pop_front() {
         let dv = dist[v.index()];
-        for &u in g.neighbors(v) {
-            if alive.contains(u) && dist[u.index()] == INFINITE_DISTANCE {
+        for u in g.alive_neighbors(v, alive) {
+            if dist[u.index()] == INFINITE_DISTANCE {
                 dist[u.index()] = dv + 1;
                 queue.push_back(u);
             }
@@ -44,8 +44,8 @@ pub fn shortest_path(g: &Graph, alive: &NodeSet, from: NodeId, to: NodeId) -> Op
     let mut queue = VecDeque::new();
     queue.push_back(from);
     while let Some(v) = queue.pop_front() {
-        for &u in g.neighbors(v) {
-            if alive.contains(u) && seen.insert(u) {
+        for u in g.alive_neighbors(v, alive) {
+            if seen.insert(u) {
                 parent[u.index()] = Some(v);
                 if u == to {
                     let mut path = vec![to];

@@ -14,6 +14,145 @@
 
 use crate::{Graph, NodeId, NodeSet};
 
+/// A pooled row of `u64` scratch words for word-parallel set sweeps —
+/// the working currency of the (6,2) recognizer's triple-intersection
+/// scan and any other consumer that ANDs adjacency rows together.
+///
+/// Unlike [`NodeSet`], a `BitRow` maintains no length: writes are plain
+/// word stores and the population count is computed on demand, so
+/// chained AND/OR pipelines pay nothing per intermediate. Rows come from
+/// [`Workspace::take_bit_row`] and carry the workspace's bit-row epoch
+/// stamp; [`Workspace::return_bit_row`] rejects (debug-asserts and
+/// drops) a row held across a [`Workspace::reset`], the same
+/// staleness discipline the epoch-stamped visited array enforces.
+#[derive(Debug, Clone, Default)]
+pub struct BitRow {
+    words: Vec<u64>,
+    capacity: usize,
+    /// The workspace bit-row epoch at take time (see
+    /// [`Workspace::return_bit_row`]).
+    stamp: u32,
+}
+
+impl BitRow {
+    /// Universe size (in bits) this row ranges over.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The raw words (bit `i % 64` of word `i / 64` is node `i`).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Re-fits the row to a universe of `n` bits and zeroes it, reusing
+    /// the allocation where possible.
+    pub fn reset(&mut self, n: usize) {
+        self.words.clear();
+        self.words.resize(n.div_ceil(64), 0);
+        self.capacity = n;
+    }
+
+    /// Zeroes every word, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        let i = v.index();
+        debug_assert!(i < self.capacity, "node {v:?} beyond capacity");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `v`.
+    #[inline]
+    pub fn insert(&mut self, v: NodeId) {
+        let i = v.index();
+        debug_assert!(i < self.capacity, "node {v:?} beyond capacity");
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Loads `Adj(v)` into this row: a `memcpy` of the dense row when the
+    /// graph has one, else a zero-fill plus CSR scatter. The row must
+    /// already be sized to `g.node_count()` bits.
+    pub fn load_neighbors(&mut self, g: &Graph, v: NodeId) {
+        debug_assert_eq!(self.capacity, g.node_count(), "row universe mismatch");
+        match g.neighbors_bits(v) {
+            Some(bits) => self.words.copy_from_slice(bits),
+            None => {
+                self.words.fill(0);
+                for &u in g.neighbors(v) {
+                    self.words[u.index() / 64] |= 1u64 << (u.index() % 64);
+                }
+            }
+        }
+    }
+
+    /// Overwrites this row with a copy of `other` (same universe).
+    pub fn copy_from(&mut self, other: &BitRow) {
+        debug_assert_eq!(self.capacity, other.capacity, "row universes differ");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// `self &= other` (same universe).
+    pub fn and_with(&mut self, other: &BitRow) {
+        debug_assert_eq!(self.capacity, other.capacity, "row universes differ");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self &= !other` (same universe).
+    pub fn andnot_with(&mut self, other: &BitRow) {
+        debug_assert_eq!(self.capacity, other.capacity, "row universes differ");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Number of set bits (computed on demand).
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    pub fn and_count(&self, other: &BitRow) -> usize {
+        debug_assert_eq!(self.capacity, other.capacity, "row universes differ");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// The smallest bit of `self & !other` (same universe), without
+    /// materializing the difference.
+    pub fn first_andnot(&self, other: &BitRow) -> Option<NodeId> {
+        debug_assert_eq!(self.capacity, other.capacity, "row universes differ");
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let word = a & !b;
+            if word != 0 {
+                return Some(NodeId::from_index(wi * 64 + word.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// The smallest set bit, if any.
+    pub fn first(&self) -> Option<NodeId> {
+        for (wi, &word) in self.words.iter().enumerate() {
+            if word != 0 {
+                return Some(NodeId::from_index(wi * 64 + word.trailing_zeros() as usize));
+            }
+        }
+        None
+    }
+}
+
 /// Counters describing the traffic a [`Workspace`] has served. Deltas of
 /// these before/after a solve are surfaced as `SolveStats` by `mcc-core`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,6 +194,11 @@ pub struct Workspace {
     usize_bufs: Vec<Vec<usize>>,
     /// Pool of bucket lists for the ordering algorithms (MCS, LexBFS).
     bucket_lists: Vec<Vec<Vec<NodeId>>>,
+    /// Pool of [`BitRow`] scratch rows (see [`Workspace::take_bit_row`]).
+    bit_rows: Vec<BitRow>,
+    /// Epoch stamped onto every [`BitRow`] handed out; bumped by
+    /// [`Workspace::reset`] so stale rows are detected on return.
+    bit_epoch: u32,
     /// Set when a solve panicked mid-flight while holding this workspace;
     /// see [`Workspace::poison`].
     poisoned: bool,
@@ -79,6 +223,8 @@ impl Workspace {
             set_bufs: Vec::new(),
             usize_bufs: Vec::new(),
             bucket_lists: Vec::new(),
+            bit_rows: Vec::new(),
+            bit_epoch: 0,
             poisoned: false,
             stats: WorkspaceStats::default(),
         }
@@ -180,6 +326,31 @@ impl Workspace {
         self.bucket_lists.push(buckets);
     }
 
+    /// Borrow a [`BitRow`] over a universe of `n` bits from the pool
+    /// (zeroed; word storage reused; stamped with the current bit-row
+    /// epoch). Pair with [`Workspace::return_bit_row`].
+    pub fn take_bit_row(&mut self, n: usize) -> BitRow {
+        let mut row = self.bit_rows.pop().unwrap_or_default();
+        row.reset(n);
+        row.stamp = self.bit_epoch;
+        row
+    }
+
+    /// Return a row taken with [`Workspace::take_bit_row`]. A row held
+    /// across a [`Workspace::reset`] carries a stale epoch stamp: in
+    /// debug builds that is an assertion failure, in release the row is
+    /// quietly dropped instead of re-pooled (its contents are suspect,
+    /// its allocation merely re-grows on next use).
+    pub fn return_bit_row(&mut self, row: BitRow) {
+        debug_assert_eq!(
+            row.stamp, self.bit_epoch,
+            "BitRow returned across a workspace reset"
+        );
+        if row.stamp == self.bit_epoch {
+            self.bit_rows.push(row);
+        }
+    }
+
     /// Marks this workspace as possibly inconsistent: a solve panicked
     /// while it held marks or borrowed buffers. A poisoned workspace must
     /// be [`Workspace::reset`] before its marks can be trusted again —
@@ -203,6 +374,7 @@ impl Workspace {
         self.visited.fill(0);
         self.epoch = 0;
         self.queue.clear();
+        self.bit_epoch = self.bit_epoch.wrapping_add(1);
         self.poisoned = false;
     }
 
@@ -225,12 +397,14 @@ impl Workspace {
             .iter()
             .flat_map(|bl| bl.iter().map(|b| b.capacity() * 4))
             .sum();
+        let bit_rows: usize = self.bit_rows.iter().map(|r| r.words.capacity() * 8).sum();
         self.visited.capacity() * 4
             + self.queue.capacity() * 4
             + node_bufs
             + set_bufs
             + usize_bufs
             + buckets
+            + bit_rows
     }
 
     /// Core BFS inside the *current* sweep: traverses the component of
@@ -247,8 +421,10 @@ impl Workspace {
         while head < self.queue.len() {
             let v = self.queue[head];
             head += 1;
-            for &u in g.neighbors(v) {
-                if alive.contains(u) && self.mark(u) {
+            // Word-parallel on dense rows: each AND of a row word with
+            // the alive mask screens 64 neighbors at once.
+            for u in g.alive_neighbors(v, alive) {
+                if self.mark(u) {
                     self.queue.push(u);
                 }
             }
@@ -325,6 +501,49 @@ mod tests {
         ws.begin_visit(4);
         assert!(!ws.is_marked(NodeId(1)));
         assert!(ws.mark(NodeId(1)));
+    }
+
+    #[test]
+    fn bit_row_pool_recycles_and_rows_compute() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2)]);
+        let mut ws = Workspace::new();
+        let mut r0 = ws.take_bit_row(5);
+        let mut r1 = ws.take_bit_row(5);
+        r0.load_neighbors(&g, NodeId(0));
+        r1.load_neighbors(&g, NodeId(1));
+        assert_eq!(r0.count(), 4);
+        assert_eq!(r0.and_count(&r1), 1); // N(0) ∩ N(1) = {2}
+        r0.and_with(&r1);
+        assert_eq!(r0.first(), Some(NodeId(2)));
+        r0.andnot_with(&r1);
+        assert_eq!(r0.count(), 0);
+        let cap = r1.words.capacity();
+        ws.return_bit_row(r0);
+        ws.return_bit_row(r1);
+        // The pool recycles the allocation and hands back a zeroed row.
+        let r2 = ws.take_bit_row(3);
+        assert_eq!(r2.count(), 0);
+        assert_eq!(r2.capacity(), 3);
+        assert!(r2.words.capacity() >= cap.min(1));
+        ws.return_bit_row(r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "across a workspace reset")]
+    fn stale_bit_row_is_rejected_on_return() {
+        let mut ws = Workspace::new();
+        let row = ws.take_bit_row(4);
+        ws.reset(); // bumps the bit-row epoch: `row` is now stale
+        ws.return_bit_row(row);
+    }
+
+    #[test]
+    fn bit_rows_count_toward_scratch_bytes() {
+        let mut ws = Workspace::new();
+        let before = ws.scratch_bytes();
+        let row = ws.take_bit_row(1024);
+        ws.return_bit_row(row);
+        assert!(ws.scratch_bytes() >= before + 1024 / 8);
     }
 
     #[test]

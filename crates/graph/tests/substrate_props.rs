@@ -6,10 +6,10 @@
 #![allow(clippy::needless_range_loop)]
 
 use mcc_graph::{
-    bfs_distances, bfs_order, bfs_order_in, biconnected_components, chords_of_cycle,
-    connected_components, dfs_order, enumerate_cycles, induced_subgraph, is_connected_within,
-    shortest_path, spanning_tree, terminals_connected, terminals_connected_in, CycleLimits, Graph,
-    GraphBuilder, NodeId, NodeSet, Workspace, INFINITE_DISTANCE,
+    bfs_distances, bfs_order, bfs_order_in, biconnected_components, check_adjacency_symmetric,
+    chords_of_cycle, connected_components, dfs_order, enumerate_cycles, induced_subgraph,
+    is_connected_within, shortest_path, spanning_tree, terminals_connected, terminals_connected_in,
+    CycleLimits, Graph, GraphBuilder, NodeId, NodeSet, Workspace, INFINITE_DISTANCE,
 };
 use proptest::prelude::*;
 
@@ -235,6 +235,57 @@ proptest! {
                     naive[v].contains(&u)
                 );
             }
+        }
+    }
+
+    /// CSR and bitset adjacency agree edge-for-edge on random graphs —
+    /// under the default threshold, all-dense, and pure-CSR — including
+    /// self-queries (`has_edge(v, v)` is `false` both ways: the builder
+    /// rejects self-loops) and graphs whose messy edge list collapses to
+    /// nothing. The word-level probes agree with their definitional
+    /// scans on a random mask at the same time.
+    #[test]
+    fn hybrid_adjacency_matches_csr(
+        (n, pairs) in messy_edge_list(),
+        coins in proptest::collection::vec(proptest::bool::ANY, 8),
+    ) {
+        let mut b = GraphBuilder::with_nodes(n);
+        for &(x, y) in &pairs {
+            if x != y {
+                b.add_edge(NodeId::from_index(x), NodeId::from_index(y)).expect("in range");
+            }
+        }
+        let mut g = b.build();
+        let mask = NodeSet::from_nodes(
+            n,
+            coins.iter().take(n).enumerate().filter(|(_, &c)| c).map(|(i, _)| NodeId::from_index(i)),
+        );
+        for threshold in [0usize, 1, 2, usize::MAX] {
+            g.rebuild_bit_rows(threshold);
+            prop_assert!(check_adjacency_symmetric(&g), "threshold {threshold}");
+            for a in 0..n {
+                let a = NodeId::from_index(a);
+                for c in 0..n {
+                    let c = NodeId::from_index(c);
+                    prop_assert_eq!(g.has_edge_fast(a, c), g.has_edge(a, c));
+                }
+                prop_assert!(!g.has_edge_fast(a, a), "self-loop through the fast path");
+                prop_assert_eq!(
+                    g.intersect_count(a, &mask),
+                    g.neighbors(a).iter().filter(|&&u| mask.contains(u)).count()
+                );
+                prop_assert_eq!(
+                    g.neighbors_subset_of(a, &mask),
+                    g.neighbors(a).iter().all(|&u| mask.contains(u))
+                );
+                let word_level: Vec<NodeId> = g.alive_neighbors(a, &mask).collect();
+                let scan: Vec<NodeId> =
+                    g.neighbors(a).iter().copied().filter(|&u| mask.contains(u)).collect();
+                prop_assert_eq!(word_level, scan);
+            }
+            let mut into = NodeSet::new(n);
+            g.adjacent_to_set_into(&mask, &mut into);
+            prop_assert_eq!(&into, &g.adjacent_to_set(&mask));
         }
     }
 

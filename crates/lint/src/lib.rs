@@ -121,6 +121,9 @@ pub fn run(config: &Config) -> Result<Vec<Diagnostic>, String> {
             if enabled("hot-path-alloc") {
                 rules::hot_path_alloc(&ctx, &analysis, &mut out);
             }
+            if enabled("hot-path-adjacency") {
+                rules::hot_path_adjacency(&ctx, &analysis, &mut out);
+            }
             if enabled("engine-lock-unwrap") {
                 rules::engine_lock_unwrap(&ctx, &analysis, &mut out);
             }

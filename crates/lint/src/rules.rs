@@ -1,4 +1,4 @@
-//! The six workspace rules, each a pure function from a lexed file (or
+//! The seven workspace rules, each a pure function from a lexed file (or
 //! crate) to diagnostics.
 //!
 //! Scoping conventions shared by the rules:
@@ -34,6 +34,11 @@ pub const RULES: &[(&str, &str)] = &[
         "hot-path-alloc",
         "no Vec::new/Box::new/to_vec/collect inside *_in functions \
          (zero-alloc hot-path convention)",
+    ),
+    (
+        "hot-path-adjacency",
+        "no .has_edge()/.adjacent_to_set() inside *_in functions — use the \
+         word-parallel has_edge_fast/adjacent_to_set_into forms",
     ),
     (
         "engine-lock-unwrap",
@@ -207,7 +212,74 @@ pub fn hot_path_alloc(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Rule 5: in `crates/engine`, lock acquisition must go through the typed
+/// Rule 5: inside `*_in` hot paths the slow adjacency entry points are
+/// forbidden — `.has_edge()` has the O(1) word-probe `has_edge_fast()`
+/// and `.adjacent_to_set()` has the allocation-free, word-parallel
+/// `adjacent_to_set_into()`. The graph crate itself is exempt: it
+/// implements both forms (the fast ones fall back to the slow ones on
+/// sparse rows by design).
+pub fn hot_path_adjacency(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    if ctx.is_binary || ctx.crate_name == "graph" {
+        return;
+    }
+    let toks = &a.tokens;
+    // Same `*_in`-function tracking as `hot_path_alloc` (see there for
+    // the signature/brace bookkeeping).
+    let mut stack: Vec<(bool, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut pending: Option<bool> = None;
+    let mut sig_depth = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        match t.text.as_str() {
+            "fn" => {
+                if let Some(name) = toks.get(i + 1) {
+                    pending = Some(name.text.ends_with("_in"));
+                    sig_depth = 0;
+                }
+            }
+            "(" | "[" if pending.is_some() => sig_depth += 1,
+            ")" | "]" if pending.is_some() => sig_depth = sig_depth.saturating_sub(1),
+            ";" if sig_depth == 0 => pending = None,
+            "{" => {
+                depth += 1;
+                if let Some(hot) = pending.take() {
+                    stack.push((hot, depth));
+                }
+            }
+            "}" => {
+                if stack.last().is_some_and(|s| s.1 == depth) {
+                    stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+            }
+            _ => {}
+        }
+        if !stack.iter().any(|s| s.0) || a.is_test_line(t.line) {
+            continue;
+        }
+        // Method calls only: `.has_edge(` / `.adjacent_to_set(`.
+        let fast = match t.text.as_str() {
+            "has_edge" => "has_edge_fast",
+            "adjacent_to_set" => "adjacent_to_set_into",
+            _ => continue,
+        };
+        let is_call = i > 0
+            && toks[i - 1].text == "."
+            && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(");
+        if is_call && !a.allowed_at(t.line, "hot-path-adjacency") {
+            out.push(ctx.diag(
+                t.line,
+                "hot-path-adjacency",
+                &format!(
+                    "`.{}()` inside a `*_in` hot path — use the word-parallel `{fast}`",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Rule 6: in `crates/engine`, lock acquisition must go through the typed
 /// poison-handling path, never `.unwrap()`.
 pub fn engine_lock_unwrap(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
     if ctx.crate_name != "engine" {
@@ -263,7 +335,7 @@ pub fn engine_lock_unwrap(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>
     }
 }
 
-/// Rule 6: public API in the user-facing crates must be documented.
+/// Rule 7: public API in the user-facing crates must be documented.
 pub fn missing_docs(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
     if ctx.is_binary || !matches!(ctx.crate_name.as_str(), "core" | "engine" | "datamodel") {
         return;

@@ -35,6 +35,7 @@ fn seeded_violations_are_reported_with_exact_locations() {
         ("crates/widgets/src/lib.rs", 10, "no-panic"),
         ("crates/widgets/src/lib.rs", 27, "no-wall-clock"),
         ("crates/widgets/src/lib.rs", 44, "hot-path-alloc"),
+        ("crates/widgets/src/lib.rs", 56, "hot-path-adjacency"),
     ];
     assert_eq!(got, expected);
 }
@@ -71,5 +72,5 @@ fn allow_flag_disables_a_rule_wholesale() {
     // Other rules still fire — including the one sharing a line with a
     // suppressed no-panic hit.
     assert!(diags.iter().any(|d| d.rule == "engine-lock-unwrap"));
-    assert_eq!(diags.len(), 5);
+    assert_eq!(diags.len(), 6);
 }

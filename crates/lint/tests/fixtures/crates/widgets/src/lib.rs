@@ -51,6 +51,22 @@ pub fn fill(out: &mut Vec<u32>) {
     out.extend(extra);
 }
 
+/// Violation (hot-path-adjacency): the slow adjacency form in a hot path.
+pub fn probe_in(g: &Graph, a: u32, b: u32) -> bool {
+    g.has_edge(a, b)
+}
+
+/// Exempt: the escape hatch.
+pub fn probe_allowed_in(g: &Graph, a: u32, set: &NodeSet) -> bool {
+    // lint:allow(hot-path-adjacency): fixture exercises the escape hatch.
+    g.adjacent_to_set(a, set)
+}
+
+/// Exempt: the same call outside a hot path.
+pub fn probe(g: &Graph, a: u32, b: u32) -> bool {
+    g.has_edge(a, b)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

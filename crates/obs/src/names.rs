@@ -143,10 +143,16 @@ pub enum CounterKind {
     CacheMiss = 1,
     /// Solves that stepped down the degradation ladder (Exact → KMB).
     Degraded = 2,
+    /// Same-schema request groups served by the engine's batched path
+    /// (one artifact fetch and solver revalidation amortized per group).
+    BatchGroup = 3,
+    /// Requests served as members of batched groups. The mean batch
+    /// size — the amortization factor — is this over `BatchGroup`.
+    BatchedRequest = 4,
 }
 
 /// Number of [`CounterKind`] variants (array dimension).
-pub const N_COUNTERS: usize = 3;
+pub const N_COUNTERS: usize = 5;
 
 impl CounterKind {
     /// Every variant, in index order.
@@ -154,6 +160,8 @@ impl CounterKind {
         CounterKind::CacheHit,
         CounterKind::CacheMiss,
         CounterKind::Degraded,
+        CounterKind::BatchGroup,
+        CounterKind::BatchedRequest,
     ];
 
     /// The stable Prometheus metric name for this counter.
@@ -162,6 +170,8 @@ impl CounterKind {
             CounterKind::CacheHit => "mcc_cache_hits_total",
             CounterKind::CacheMiss => "mcc_cache_misses_total",
             CounterKind::Degraded => "mcc_degraded_total",
+            CounterKind::BatchGroup => "mcc_batch_groups_total",
+            CounterKind::BatchedRequest => "mcc_batched_requests_total",
         }
     }
 
@@ -171,6 +181,8 @@ impl CounterKind {
             CounterKind::CacheHit => "Artifact-cache lookups served without schema-level work.",
             CounterKind::CacheMiss => "Artifact builds: cold registrations plus rebuilds.",
             CounterKind::Degraded => "Solves that stepped down the degradation ladder.",
+            CounterKind::BatchGroup => "Same-schema request groups served by the batched path.",
+            CounterKind::BatchedRequest => "Requests served as members of batched groups.",
         }
     }
 

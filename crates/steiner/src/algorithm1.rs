@@ -395,19 +395,25 @@ pub fn verify_lemma1_ordering(bg: &BipartiteGraph, ordering: &[NodeId]) -> bool 
         }
     }
     let q = ordering.len();
+    // One adjacency scratch set reused across iterations; each
+    // `adjacent_to_set_into` call fills it word-parallel from the graph's
+    // dense bitset rows where available.
+    let mut adj = NodeSet::new(n);
     for i in 0..q {
         // Suffix V_i^W and its closed neighborhood.
         let suffix = NodeSet::from_nodes(n, ordering[i..].iter().copied());
         let mut closed = suffix.clone();
-        closed.union_with(&g.adjacent_to_set(&suffix));
+        g.adjacent_to_set_into(&suffix, &mut adj);
+        closed.union_with(&adj);
         if !mcc_graph::is_connected_within(g, &closed) {
             return false;
         }
         // Property (2): Adj(v_i) ∩ Adj(suffix after i) ⊆ Adj(v_j), j > i.
         if i + 1 < q {
             let tail = NodeSet::from_nodes(n, ordering[i + 1..].iter().copied());
-            let shared = NodeSet::from_nodes(n, g.neighbors(ordering[i]).iter().copied())
-                .intersection(&g.adjacent_to_set(&tail));
+            g.adjacent_to_set_into(&tail, &mut adj);
+            let shared =
+                NodeSet::from_nodes(n, g.neighbors(ordering[i]).iter().copied()).intersection(&adj);
             if shared.is_empty() {
                 continue;
             }

@@ -122,6 +122,60 @@ fn elimination_loop_allocates_nothing_after_warmup() {
     assert_eq!(tree.node_cost(), alive.len());
 }
 
+/// `Graph::adjacent_to_set_into` must be allocation-free once the output
+/// set has the right universe: dense rows are ORed word-parallel into the
+/// set's own storage, sparse rows scatter through `insert`, and neither
+/// path touches the heap.
+#[test]
+fn adjacent_to_set_into_allocates_nothing_after_warmup() {
+    let (g, terminals) = c4_chain(8);
+    let n = g.node_count();
+    let mut out = NodeSet::new(n);
+
+    // Warm-up fits `out` to the graph's universe (a no-op here, but the
+    // measured pass must not depend on that).
+    g.adjacent_to_set_into(&terminals, &mut out);
+    let expected = g.adjacent_to_set(&terminals);
+    assert_eq!(out, expected);
+
+    let before = allocation_count();
+    g.adjacent_to_set_into(&terminals, &mut out);
+    let after = allocation_count();
+    assert_eq!(
+        after - before,
+        0,
+        "adjacent_to_set_into must not allocate after warm-up ({} allocations observed)",
+        after - before
+    );
+    assert_eq!(out, expected);
+}
+
+/// The (6,2) sparse-six-cycle scan runs on pooled `BitRow` scratch: on a
+/// negative instance (no witness to return) a warm workspace performs
+/// zero heap allocations across the whole triple-intersection sweep.
+#[test]
+fn sparse_six_cycle_scan_allocates_nothing_after_warmup() {
+    use mcc_chordality::find_sparse_six_cycle_in;
+    use mcc_graph::BipartiteGraph;
+
+    let (g, _) = c4_chain(8);
+    let bg = BipartiteGraph::from_graph(g).expect("C4 chains are bipartite");
+    let mut ws = Workspace::new();
+
+    assert_eq!(find_sparse_six_cycle_in(&mut ws, &bg), None);
+
+    let before = allocation_count();
+    let witness = find_sparse_six_cycle_in(&mut ws, &bg);
+    let after = allocation_count();
+    assert_eq!(witness, None);
+    assert_eq!(
+        after - before,
+        0,
+        "sparse-six-cycle scan must not allocate after warm-up ({} allocations observed)",
+        after - before
+    );
+}
+
 /// The tracing span in `algorithm2_budgeted_in` must not change the
 /// function's allocation profile: recording is `Cell`/atomic arithmetic
 /// only. The budgeted route allocates for its *result tree* (that is
@@ -138,7 +192,7 @@ fn telemetry_spans_add_zero_allocations_on_the_budgeted_route() {
     let budget = SolveBudget::unbounded();
     let mut ws = Workspace::new();
 
-    let mut measure = |ws: &mut Workspace| {
+    let measure = |ws: &mut Workspace| {
         let token = budget.start();
         let before = allocation_count();
         let tree = algorithm2_budgeted_in(ws, &g, &terminals, &order, &budget, &token)
