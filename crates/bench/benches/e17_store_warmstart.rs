@@ -1,0 +1,72 @@
+//! E17 — startup cost with a durable artifact tier: registering a schema
+//! against (a) an empty cache ("cold": full classification pass),
+//! (b) an empty cache backed by a populated `ArtifactStore` ("disk-warm":
+//! read + CRC-validate + decode + coherence check, no classification),
+//! and (c) a cache that already holds the bundle ("memory-warm": the
+//! `artifacts()` read path, one RwLock read + Arc clone).
+//!
+//! The spread between (a) and (b) is what the disk tier buys an engine
+//! restart; the spread between (b) and (c) is what it still costs
+//! relative to never restarting at all. The workload is the E12/E16
+//! serving schema so the tiers are priced on the same bundle the
+//! serving benchmarks revalidate. EXPERIMENTS.md §E17 records the
+//! numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mcc_bench::serving_workload;
+use mcc_engine::{ArtifactStore, SchemaArtifactCache};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const EDGES: usize = 96;
+const SEED: u64 = 7;
+
+fn store_root() -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mcc-bench-e17-{}", std::process::id()))
+}
+
+fn bench_store_warmstart(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e17_store_warmstart");
+    group.sample_size(20);
+    let (schema, _) = serving_workload(EDGES, 1, SEED);
+
+    // (a) Cold: a fresh memory-only cache classifies from scratch.
+    group.bench_function("cold_register", |b| {
+        b.iter(|| {
+            let cache = SchemaArtifactCache::new();
+            black_box(cache.register(black_box(schema.clone())).expect("register"))
+        })
+    });
+
+    // (b) Disk-warm: a fresh cache over a store that already holds the
+    // bundle — registration is served by read + decode + validate.
+    let root = store_root();
+    let _ = std::fs::remove_dir_all(&root);
+    let store = Arc::new(ArtifactStore::open(&root));
+    SchemaArtifactCache::with_store(Arc::clone(&store))
+        .register(schema.clone())
+        .expect("populate the store");
+    assert!(!store.is_degraded(), "bench store must be writable");
+    group.bench_function("disk_warm_register", |b| {
+        b.iter(|| {
+            let cache = SchemaArtifactCache::with_store(Arc::clone(&store));
+            black_box(cache.register(black_box(schema.clone())).expect("register"))
+        })
+    });
+    let served = store.stats();
+    assert!(served.hits > 0, "disk tier never served: {served:?}");
+
+    // (c) Memory-warm: the steady-state read path of a live engine.
+    group.bench_function("memory_warm_artifacts", |b| {
+        let cache = SchemaArtifactCache::new();
+        let id = cache.register(schema.clone()).expect("register");
+        black_box(cache.artifacts(id).expect("warm"));
+        b.iter(|| black_box(cache.artifacts(black_box(id)).expect("warm")))
+    });
+
+    let _ = std::fs::remove_dir_all(&root);
+    group.finish();
+}
+
+criterion_group!(benches, bench_store_warmstart);
+criterion_main!(benches);

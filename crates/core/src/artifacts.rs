@@ -15,6 +15,31 @@ use mcc_chordality::{classify_bipartite_in, mcs_order_in, BipartiteClassificatio
 use mcc_graph::{BipartiteGraph, NodeId, Side, Workspace};
 use mcc_hypergraph::JoinTree;
 use mcc_steiner::{lemma1_ordering, Lemma1Ordering};
+use std::fmt;
+
+/// A structural defect found while assembling a [`SchemaArtifacts`]
+/// bundle from externally supplied parts (a decoded persistence blob).
+///
+/// [`SchemaArtifacts::from_parts`] never trusts its inputs: a blob that
+/// passed every checksum can still be internally inconsistent (a forged
+/// or version-skewed writer), and a bundle with an out-of-range ordering
+/// would panic deep inside a solver sweep. The checks are cheap —
+/// `O(n + m)` scans, never a reclassification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArtifactsError {
+    /// Which part of the bundle failed (e.g. `"elimination_order"`).
+    pub part: &'static str,
+    /// What was wrong with it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ArtifactsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid artifact bundle: {}: {}", self.part, self.reason)
+    }
+}
+
+impl std::error::Error for ArtifactsError {}
 
 /// The immutable, shareable bundle of per-schema solver artifacts:
 ///
@@ -84,9 +109,141 @@ impl SchemaArtifacts {
         }
     }
 
+    /// Reassembles a bundle from externally supplied parts — the decode
+    /// half of the `mcc-store` persistence round trip — after validating
+    /// their structural coherence (see [`ArtifactsError`]).
+    ///
+    /// What is checked (all `O(n + m)`, no recognizer runs):
+    ///
+    /// * `elimination_order` is a permutation of the graph's nodes;
+    /// * the classification respects the Theorem 1 hierarchy
+    ///   (4,1) ⊆ (6,2) ⊆ (6,1);
+    /// * each Lemma 1 ordering exists only when the classification says
+    ///   its route is polynomial, lists distinct `V₂`-side nodes of its
+    ///   graph, and carries a join tree of matching size whose parent
+    ///   pointers reference strictly earlier edges;
+    /// * the side-swapped copy is present exactly with the `V1`
+    ///   ordering and equals `bipartite.swap_sides()`.
+    ///
+    /// What is **not** checked: that the orderings are *the* Lemma
+    /// 1/MCS orderings of this graph (that would be a rebuild). A
+    /// CRC-valid but semantically wrong blob yields a bundle that
+    /// solves suboptimally, not one that panics — and the store's
+    /// content addressing (fingerprint keyed, written only by
+    /// [`SchemaArtifacts::build`]) is what rules that out in practice.
+    pub fn from_parts(
+        bipartite: BipartiteGraph,
+        classification: BipartiteClassification,
+        elimination_order: Vec<NodeId>,
+        lemma1_v2: Option<Lemma1Ordering>,
+        swapped: Option<BipartiteGraph>,
+        lemma1_v1: Option<Lemma1Ordering>,
+    ) -> Result<Self, ArtifactsError> {
+        let err = |part, reason| ArtifactsError { part, reason };
+        let n = bipartite.graph().node_count();
+        // The elimination order must be a permutation of 0..n.
+        if elimination_order.len() != n {
+            return Err(err("elimination_order", "length differs from node count"));
+        }
+        let mut seen = vec![false; n];
+        for &v in &elimination_order {
+            if v.index() >= n || seen[v.index()] {
+                return Err(err("elimination_order", "not a permutation of the nodes"));
+            }
+            seen[v.index()] = true;
+        }
+        // Theorem 1 hierarchy: (4,1)-chordal ⊂ (6,2)-chordal ⊂ (6,1).
+        if (classification.four_one && !classification.six_two)
+            || (classification.six_two && !classification.six_one)
+        {
+            return Err(err(
+                "classification",
+                "violates the (4,1)⊆(6,2)⊆(6,1) hierarchy",
+            ));
+        }
+        if lemma1_v2.is_some() && !classification.pseudo_steiner_v2_polynomial() {
+            return Err(err(
+                "lemma1_v2",
+                "ordering present but route not polynomial",
+            ));
+        }
+        if let Some(l1) = &lemma1_v2 {
+            Self::check_lemma1(l1, &bipartite).map_err(|reason| err("lemma1_v2", reason))?;
+        }
+        if swapped.is_some() != lemma1_v1.is_some() {
+            return Err(err(
+                "swapped",
+                "present without its V1 ordering (or vice versa)",
+            ));
+        }
+        if lemma1_v1.is_some() && !classification.pseudo_steiner_v1_polynomial() {
+            return Err(err(
+                "lemma1_v1",
+                "ordering present but route not polynomial",
+            ));
+        }
+        if let (Some(sw), Some(l1)) = (&swapped, &lemma1_v1) {
+            if *sw != bipartite.swap_sides() {
+                return Err(err("swapped", "not the side-swapped copy of the substrate"));
+            }
+            Self::check_lemma1(l1, sw).map_err(|reason| err("lemma1_v1", reason))?;
+        }
+        Ok(SchemaArtifacts {
+            bipartite,
+            classification,
+            elimination_order,
+            lemma1_v2,
+            swapped,
+            lemma1_v1,
+        })
+    }
+
+    /// Structural sanity of one Lemma 1 ordering against the graph the
+    /// route runs on: distinct in-range `V₂` nodes, a join tree of the
+    /// same size, and parent pointers that reference strictly earlier
+    /// order positions (the RIP shape).
+    fn check_lemma1(l1: &Lemma1Ordering, bg: &BipartiteGraph) -> Result<(), &'static str> {
+        let n = bg.graph().node_count();
+        let mut seen = vec![false; n];
+        for &v in &l1.order {
+            if v.index() >= n || seen[v.index()] {
+                return Err("order nodes out of range or duplicated");
+            }
+            if bg.side(v) != Side::V2 {
+                return Err("order contains a V1-side node");
+            }
+            seen[v.index()] = true;
+        }
+        let m = l1.join_tree.order.len();
+        if l1.join_tree.parent.len() != m || m != l1.order.len() {
+            return Err("join tree size disagrees with the ordering");
+        }
+        let mut pos = vec![usize::MAX; m];
+        for (i, e) in l1.join_tree.order.iter().enumerate() {
+            if e.index() >= m || pos[e.index()] != usize::MAX {
+                return Err("join tree order is not a permutation of its edges");
+            }
+            pos[e.index()] = i;
+        }
+        for (i, p) in l1.join_tree.parent.iter().enumerate() {
+            if let Some(p) = p {
+                if p.index() >= m || pos[p.index()] >= i {
+                    return Err("join tree parent is not an earlier edge");
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// The bipartite substrate the artifacts describe.
     pub fn bipartite(&self) -> &BipartiteGraph {
         &self.bipartite
+    }
+
+    /// The cached side-swapped copy the `V1` pseudo route runs on, when
+    /// that route is polynomial (see [`SchemaArtifacts::algorithm1_route`]).
+    pub fn swapped(&self) -> Option<&BipartiteGraph> {
+        self.swapped.as_ref()
     }
 
     /// The classification computed at build time.
@@ -157,6 +314,85 @@ mod tests {
         let (g1, l1v1) = a.algorithm1_route(Side::V1).expect("V1 route polynomial");
         assert!(verify_lemma1_ordering(g1, &l1v1.order));
         assert!(a.join_tree().is_some());
+    }
+
+    #[test]
+    fn from_parts_round_trips_a_built_bundle() {
+        let bg = bipartite_from_lists(
+            &["a", "b", "c"],
+            &["R1", "R2"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1)],
+        );
+        let a = SchemaArtifacts::build(bg);
+        let b = SchemaArtifacts::from_parts(
+            a.bipartite.clone(),
+            a.classification,
+            a.elimination_order.clone(),
+            a.lemma1_v2.clone(),
+            a.swapped.clone(),
+            a.lemma1_v1.clone(),
+        )
+        .expect("a built bundle is valid by construction");
+        assert_eq!(b.bipartite(), a.bipartite());
+        assert_eq!(b.classification(), a.classification());
+        assert_eq!(b.elimination_order(), a.elimination_order());
+    }
+
+    #[test]
+    fn from_parts_rejects_incoherent_bundles() {
+        let bg = bipartite_from_lists(
+            &["a", "b", "c"],
+            &["R1", "R2"],
+            &[(0, 0), (1, 0), (1, 1), (2, 1)],
+        );
+        let a = SchemaArtifacts::build(bg);
+        // Truncated elimination order.
+        let short = a.elimination_order[..3].to_vec();
+        let e = SchemaArtifacts::from_parts(
+            a.bipartite.clone(),
+            a.classification,
+            short,
+            None,
+            None,
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(e.part, "elimination_order");
+        // Duplicated entry.
+        let mut dup = a.elimination_order.clone();
+        dup[0] = dup[1];
+        assert!(SchemaArtifacts::from_parts(
+            a.bipartite.clone(),
+            a.classification,
+            dup,
+            None,
+            None,
+            None
+        )
+        .is_err());
+        // Hierarchy violation: (4,1) without (6,2).
+        let mut cls = a.classification;
+        cls.four_one = true;
+        cls.six_two = false;
+        assert!(SchemaArtifacts::from_parts(
+            a.bipartite.clone(),
+            cls,
+            a.elimination_order.clone(),
+            None,
+            None,
+            None
+        )
+        .is_err());
+        // Swapped copy without its ordering.
+        assert!(SchemaArtifacts::from_parts(
+            a.bipartite.clone(),
+            a.classification,
+            a.elimination_order.clone(),
+            a.lemma1_v2.clone(),
+            a.swapped.clone(),
+            None
+        )
+        .is_err());
     }
 
     #[test]

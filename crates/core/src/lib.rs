@@ -65,7 +65,7 @@ pub mod figures;
 /// The budgeted, degradation-aware query solver.
 pub mod solver;
 
-pub use artifacts::SchemaArtifacts;
+pub use artifacts::{ArtifactsError, SchemaArtifacts};
 pub use mcc_graph::{BudgetExceeded, BudgetKind, SolveBudget, Stage};
 pub use solver::{
     Degraded, Solution, SolveError, SolveOutcome, SolveStats, Solver, SolverConfig, SolverError,

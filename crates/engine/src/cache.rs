@@ -18,9 +18,32 @@
 //! [`SchemaArtifactCache::register`] dedups structurally identical
 //! schemas (fingerprint first, full `==` to confirm), returning the
 //! existing id — re-registering a schema is a hit, not a rebuild.
+//!
+//! ## The disk tier
+//!
+//! A cache built with [`SchemaArtifactCache::with_store`] is **tiered**:
+//! hot bundles live in memory behind `Arc`s as before, and every build
+//! first consults a crash-safe content-addressed
+//! [`ArtifactStore`](mcc_store::ArtifactStore) keyed by schema
+//! fingerprint. A valid on-disk bundle skips classification entirely
+//! (the store counts a `store_hit`; the slot still counts its cold
+//! cache miss); a fresh build is written through so the *next* process
+//! warm-starts. Two rules keep the tier invisible to correctness:
+//!
+//! * a loaded bundle is only accepted if its bipartite graph equals the
+//!   schema's own — a fingerprint collision or misfiled blob falls back
+//!   to a clean rebuild (and overwrite);
+//! * [`SchemaArtifactCache::invalidate`] removes the disk object *under
+//!   the slot write lock*, so a racing rebuilder can never re-serve the
+//!   pre-invalidation bundle from disk for the new generation.
+//!
+//! The store degrades itself to memory-only on persistent I/O errors;
+//! the cache keeps working identically (every `store`/`load` just
+//! becomes a no-op miss).
 
 use mcc::SchemaArtifacts;
 use mcc_datamodel::{RelationalSchema, RelationalSchemaError};
+use mcc_store::{ArtifactStore, StoreStats};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
@@ -92,6 +115,7 @@ pub struct SchemaArtifactCache {
     slots: RwLock<Vec<Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    store: Option<Arc<ArtifactStore>>,
 }
 
 impl fmt::Debug for SchemaArtifactCache {
@@ -110,6 +134,27 @@ impl SchemaArtifactCache {
         Self::default()
     }
 
+    /// An empty cache backed by a persistent artifact store: builds
+    /// consult the disk tier first and write through on rebuild, so a
+    /// restarted engine sharing the same store root warm-starts without
+    /// reclassifying (see the module docs).
+    pub fn with_store(store: Arc<ArtifactStore>) -> Self {
+        SchemaArtifactCache {
+            store: Some(store),
+            ..Self::default()
+        }
+    }
+
+    /// The disk tier, if this cache has one.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
+    }
+
+    /// The disk tier's counters (all-zero when there is no disk tier).
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.as_ref().map(|s| s.stats()).unwrap_or_default()
+    }
+
     /// Registers `schema`, building its artifact bundle eagerly (counted
     /// as the slot's one cold **miss**). A schema structurally equal to
     /// an already-registered one is deduplicated: the existing id comes
@@ -125,7 +170,7 @@ impl SchemaArtifactCache {
             mcc_obs::incr(mcc_obs::CounterKind::CacheHit, 1);
             return Ok(SchemaId(i));
         }
-        let artifacts = Self::build(&schema)?;
+        let artifacts = self.build_or_load(&schema)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         mcc_obs::incr(mcc_obs::CounterKind::CacheMiss, 1);
         slots.push(Slot {
@@ -171,6 +216,14 @@ impl SchemaArtifactCache {
             Some(slot) => {
                 slot.generation += 1;
                 slot.artifacts = None;
+                // Drop the disk object while still holding the write
+                // lock: a racing rebuilder re-reads the slot (blocking
+                // on this lock) before consulting the store, so by the
+                // time it can observe the new generation the old bytes
+                // are gone and it must genuinely rebuild.
+                if let Some(store) = &self.store {
+                    store.remove(slot.fingerprint);
+                }
                 true
             }
             None => false,
@@ -202,7 +255,7 @@ impl SchemaArtifactCache {
             let slot = slots.get(id.0).ok_or(CacheError::UnknownSchema(id))?;
             (Arc::clone(&slot.schema), slot.generation)
         };
-        let built = Self::build(&schema)?;
+        let built = self.build_or_load(&schema)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         mcc_obs::incr(mcc_obs::CounterKind::CacheMiss, 1);
         let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
@@ -277,9 +330,26 @@ impl SchemaArtifactCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    fn build(schema: &RelationalSchema) -> Result<Arc<SchemaArtifacts>, CacheError> {
+    /// The tiered build: a validated disk hit skips classification; a
+    /// miss builds and writes through. Without a store this is exactly
+    /// the old cold build.
+    fn build_or_load(&self, schema: &RelationalSchema) -> Result<Arc<SchemaArtifacts>, CacheError> {
         let bg = schema.to_bipartite().map_err(CacheError::Schema)?;
-        Ok(Arc::new(SchemaArtifacts::build(bg)))
+        let Some(store) = &self.store else {
+            return Ok(Arc::new(SchemaArtifacts::build(bg)));
+        };
+        let fingerprint = schema.fingerprint();
+        if let Some(loaded) = store.load(fingerprint) {
+            // Last line of defense against a fingerprint collision (or a
+            // blob filed under the wrong key despite the header echo):
+            // the decoded bundle must describe *this* schema's graph.
+            if *loaded.bipartite() == bg {
+                return Ok(Arc::new(loaded));
+            }
+        }
+        let built = Arc::new(SchemaArtifacts::build(bg));
+        store.store(fingerprint, &built);
+        Ok(built)
     }
 }
 

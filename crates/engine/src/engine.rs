@@ -333,6 +333,7 @@ impl Engine {
             depth,
             self.shared.cache.hits(),
             self.shared.cache.misses(),
+            self.shared.cache.store_stats(),
         )
     }
 

@@ -59,3 +59,4 @@ pub use stats::{EngineStats, ENGINE_METRICS};
 
 pub use mcc::{Solution, SolveBudget, SolverConfig};
 pub use mcc_graph::Side;
+pub use mcc_store::{ArtifactStore, StoreStats};

@@ -2,6 +2,7 @@
 //! door and the workers, snapshotted into [`EngineStats`], and rendered
 //! in the Prometheus text format.
 
+use mcc_store::StoreStats;
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -116,12 +117,22 @@ pub struct EngineStats {
     /// Artifact builds (cold registrations + post-invalidation
     /// rebuilds) — the only places classification/ordering ever runs.
     pub cache_misses: u64,
+    /// Bundles the disk tier served in place of a classification pass
+    /// (always 0 for a cache without a store).
+    pub store_hits: u64,
+    /// Disk-tier lookups that found no valid object.
+    pub store_misses: u64,
+    /// On-disk blobs quarantined after failing validation.
+    pub store_quarantined: u64,
+    /// Whether the disk tier is in degraded memory-only mode (rendered
+    /// as a 0/1 gauge).
+    pub store_degraded: bool,
 }
 
 /// The engine-level metric families [`EngineStats::render_prometheus`]
 /// emits, in output order: `(name, type, help)`. Public so the snapshot
 /// test (and any scrape consumer) can assert the name table.
-pub const ENGINE_METRICS: [(&str, &str, &str); 12] = [
+pub const ENGINE_METRICS: [(&str, &str, &str); 16] = [
     (
         "mcc_engine_queue_depth",
         "gauge",
@@ -182,6 +193,26 @@ pub const ENGINE_METRICS: [(&str, &str, &str); 12] = [
         "counter",
         "Artifact builds: cold registrations plus rebuilds.",
     ),
+    (
+        "mcc_engine_store_hits_total",
+        "counter",
+        "Bundles served from the disk tier instead of classification.",
+    ),
+    (
+        "mcc_engine_store_misses_total",
+        "counter",
+        "Disk-tier lookups that found no valid object.",
+    ),
+    (
+        "mcc_engine_store_quarantined_total",
+        "counter",
+        "On-disk blobs quarantined after failing validation.",
+    ),
+    (
+        "mcc_engine_store_degraded",
+        "gauge",
+        "1 when the disk tier has degraded to memory-only mode.",
+    ),
 ];
 
 impl EngineStats {
@@ -190,6 +221,7 @@ impl EngineStats {
         queue_depth: usize,
         cache_hits: u64,
         cache_misses: u64,
+        store: StoreStats,
     ) -> Self {
         let c = counters.snapshot();
         EngineStats {
@@ -205,6 +237,10 @@ impl EngineStats {
             batched_requests: c.batched_requests,
             cache_hits,
             cache_misses,
+            store_hits: store.hits,
+            store_misses: store.misses,
+            store_quarantined: store.quarantined,
+            store_degraded: store.degraded,
         }
     }
 
@@ -222,7 +258,7 @@ impl EngineStats {
 
     /// [`EngineStats::render_prometheus`], appending into `out`.
     pub fn render_prometheus_into(&self, out: &mut String) {
-        let values: [u64; 12] = [
+        let values: [u64; 16] = [
             self.queue_depth as u64,
             self.submitted,
             self.completed,
@@ -235,6 +271,10 @@ impl EngineStats {
             self.batched_requests,
             self.cache_hits,
             self.cache_misses,
+            self.store_hits,
+            self.store_misses,
+            self.store_quarantined,
+            self.store_degraded as u64,
         ];
         for ((name, kind, help), value) in ENGINE_METRICS.iter().zip(values) {
             // Writing to a String cannot fail; discard the fmt results.
@@ -251,7 +291,7 @@ impl fmt::Display for EngineStats {
             f,
             "queue {} deep; {} submitted, {} completed ({} solved, {} failed, {} degraded); \
              rejected {} full + {} shutdown; {} batches / {} batched requests; \
-             cache {} hits / {} misses",
+             cache {} hits / {} misses; store {} hits / {} misses / {} quarantined{}",
             self.queue_depth,
             self.submitted,
             self.completed,
@@ -263,7 +303,15 @@ impl fmt::Display for EngineStats {
             self.batches,
             self.batched_requests,
             self.cache_hits,
-            self.cache_misses
+            self.cache_misses,
+            self.store_hits,
+            self.store_misses,
+            self.store_quarantined,
+            if self.store_degraded {
+                " (degraded to memory-only)"
+            } else {
+                ""
+            }
         )
     }
 }

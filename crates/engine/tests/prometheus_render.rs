@@ -20,6 +20,10 @@ fn sample() -> EngineStats {
         batched_requests: 48,
         cache_hits: 88,
         cache_misses: 5,
+        store_hits: 3,
+        store_misses: 2,
+        store_quarantined: 1,
+        store_degraded: true,
     }
 }
 
@@ -62,6 +66,18 @@ mcc_engine_cache_hits_total 88
 # HELP mcc_engine_cache_misses_total Artifact builds: cold registrations plus rebuilds.
 # TYPE mcc_engine_cache_misses_total counter
 mcc_engine_cache_misses_total 5
+# HELP mcc_engine_store_hits_total Bundles served from the disk tier instead of classification.
+# TYPE mcc_engine_store_hits_total counter
+mcc_engine_store_hits_total 3
+# HELP mcc_engine_store_misses_total Disk-tier lookups that found no valid object.
+# TYPE mcc_engine_store_misses_total counter
+mcc_engine_store_misses_total 2
+# HELP mcc_engine_store_quarantined_total On-disk blobs quarantined after failing validation.
+# TYPE mcc_engine_store_quarantined_total counter
+mcc_engine_store_quarantined_total 1
+# HELP mcc_engine_store_degraded 1 when the disk tier has degraded to memory-only mode.
+# TYPE mcc_engine_store_degraded gauge
+mcc_engine_store_degraded 1
 ";
     assert_eq!(sample().render_prometheus(), golden);
 }
@@ -77,7 +93,7 @@ fn metric_table_is_consistent_and_unique() {
             .unwrap_or_else(|| panic!("family {name} missing or out of order"));
         at += pos + 1;
         assert!(
-            name == "mcc_engine_queue_depth" || name.ends_with("_total"),
+            kind == "gauge" || name.ends_with("_total"),
             "counter naming convention: {name}"
         );
         assert!(name.starts_with("mcc_engine_"), "engine prefix: {name}");

@@ -32,6 +32,7 @@ fn seeded_violations_are_reported_with_exact_locations() {
         ("crates/engine/src/lib.rs", 9, "engine-lock-unwrap"),
         ("crates/engine/src/lib.rs", 9, "no-panic"),
         ("crates/nounsafe/src/lib.rs", 1, "forbid-unsafe"),
+        ("crates/store/src/lib.rs", 10, "no-panic"),
         ("crates/widgets/src/lib.rs", 10, "no-panic"),
         ("crates/widgets/src/lib.rs", 27, "no-wall-clock"),
         ("crates/widgets/src/lib.rs", 44, "hot-path-alloc"),

@@ -149,10 +149,22 @@ pub enum CounterKind {
     /// Requests served as members of batched groups. The mean batch
     /// size — the amortization factor — is this over `BatchGroup`.
     BatchedRequest = 4,
+    /// Artifact bundles served from the on-disk store (validated loads
+    /// that skipped classification/ordering entirely).
+    StoreHit = 5,
+    /// Store lookups that found no (valid) artifact on disk — the bundle
+    /// was rebuilt from the schema and written through.
+    StoreMiss = 6,
+    /// Artifact files that failed validation (bad magic, CRC mismatch,
+    /// truncation, decode error) and were moved to quarantine.
+    StoreQuarantine = 7,
+    /// Times a store degraded to memory-only mode after persistent I/O
+    /// failures (the engine keeps serving without the disk tier).
+    StoreDegraded = 8,
 }
 
 /// Number of [`CounterKind`] variants (array dimension).
-pub const N_COUNTERS: usize = 5;
+pub const N_COUNTERS: usize = 9;
 
 impl CounterKind {
     /// Every variant, in index order.
@@ -162,6 +174,10 @@ impl CounterKind {
         CounterKind::Degraded,
         CounterKind::BatchGroup,
         CounterKind::BatchedRequest,
+        CounterKind::StoreHit,
+        CounterKind::StoreMiss,
+        CounterKind::StoreQuarantine,
+        CounterKind::StoreDegraded,
     ];
 
     /// The stable Prometheus metric name for this counter.
@@ -172,6 +188,10 @@ impl CounterKind {
             CounterKind::Degraded => "mcc_degraded_total",
             CounterKind::BatchGroup => "mcc_batch_groups_total",
             CounterKind::BatchedRequest => "mcc_batched_requests_total",
+            CounterKind::StoreHit => "mcc_store_hits_total",
+            CounterKind::StoreMiss => "mcc_store_misses_total",
+            CounterKind::StoreQuarantine => "mcc_store_corrupt_quarantined_total",
+            CounterKind::StoreDegraded => "mcc_store_degraded_total",
         }
     }
 
@@ -183,6 +203,10 @@ impl CounterKind {
             CounterKind::Degraded => "Solves that stepped down the degradation ladder.",
             CounterKind::BatchGroup => "Same-schema request groups served by the batched path.",
             CounterKind::BatchedRequest => "Requests served as members of batched groups.",
+            CounterKind::StoreHit => "Artifact bundles served from the on-disk store.",
+            CounterKind::StoreMiss => "Store lookups that found no valid on-disk artifact.",
+            CounterKind::StoreQuarantine => "Artifact files quarantined after failing validation.",
+            CounterKind::StoreDegraded => "Stores degraded to memory-only after I/O failures.",
         }
     }
 

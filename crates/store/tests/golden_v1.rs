@@ -1,0 +1,94 @@
+//! The format-compatibility contract, pinned by a checked-in v1 blob.
+//!
+//! `fixtures/v1_hr.mcca` was produced by the version-1 writer (see the
+//! ignored `regenerate_fixture` test below) for a fixed schema. The
+//! assertions here are the migration policy in executable form:
+//!
+//! * the blob must keep decoding — bumping `VERSION` without keeping a
+//!   reader for every earlier version makes `decode` return
+//!   `UnsupportedVersion` and this test fails;
+//! * re-encoding the decoded bundle must reproduce the blob
+//!   byte-for-byte — the v1 writer is deterministic and pinned, so an
+//!   accidental format change (field order, endianness, section order)
+//!   is caught even if both directions remain self-consistent.
+//!
+//! To *intentionally* evolve the format: introduce `VERSION = 2`, teach
+//! `decode` to read v1, check in a v2 fixture alongside this one, and
+//! update only the re-encode assertion (a v1 blob re-encodes as v2).
+
+use mcc::prelude::*;
+use mcc::SchemaArtifacts;
+use mcc_store::{decode, encode, FormatError, VERSION};
+
+const FIXTURE: &[u8] = include_bytes!("fixtures/v1_hr.mcca");
+
+fn fixture_schema() -> RelationalSchema {
+    RelationalSchema::from_lists(
+        "hr",
+        &["emp", "dept", "budget"],
+        &[("WORKS_IN", &[0, 1]), ("FUNDING", &[1, 2])],
+    )
+}
+
+#[test]
+fn v1_fixture_still_decodes_byte_for_byte() {
+    assert_eq!(
+        VERSION, 1,
+        "version bumped: add a v2 fixture and a v1 reader"
+    );
+    let schema = fixture_schema();
+    let key = schema.fingerprint();
+    let (fp, artifacts) = decode(FIXTURE, Some(key))
+        .expect("the checked-in v1 blob must decode for as long as VERSION >= 1 readers exist");
+    assert_eq!(fp, key);
+
+    // The decoded bundle is the fixture schema's, fully intact.
+    let expected = SchemaArtifacts::build(schema.to_bipartite().expect("valid fixture"));
+    assert_eq!(artifacts.bipartite(), expected.bipartite());
+    assert_eq!(artifacts.classification(), expected.classification());
+    assert_eq!(artifacts.elimination_order(), expected.elimination_order());
+    assert!(
+        artifacts.classification().six_two,
+        "hr is a path: γ-acyclic"
+    );
+    assert!(artifacts.lemma1(Side::V2).is_some());
+    assert!(artifacts.lemma1(Side::V1).is_some());
+
+    // The writer is pinned too: today's encoder reproduces the blob.
+    assert_eq!(
+        encode(key, &artifacts),
+        FIXTURE,
+        "encoder output drifted from the checked-in v1 fixture"
+    );
+}
+
+#[test]
+fn version_field_gates_decoding() {
+    // A fixture with a patched (future) version must be rejected with
+    // UnsupportedVersion, not misparsed.
+    let mut future = FIXTURE.to_vec();
+    future[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+    let crc = mcc_store::crc32(&future[..24]);
+    future[24..28].copy_from_slice(&crc.to_le_bytes());
+    assert_eq!(
+        decode(&future, None).err(),
+        Some(FormatError::UnsupportedVersion(VERSION + 1))
+    );
+}
+
+/// Regenerates the fixture from the current writer. Run explicitly when
+/// *intentionally* introducing a new format version:
+/// `cargo test -p mcc-store --test golden_v1 -- --ignored`
+#[test]
+#[ignore = "writes the fixture; run only on an intentional format change"]
+fn regenerate_fixture() {
+    let schema = fixture_schema();
+    let artifacts = SchemaArtifacts::build(schema.to_bipartite().expect("valid fixture"));
+    let bytes = encode(schema.fingerprint(), &artifacts);
+    let dest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("v1_hr.mcca");
+    std::fs::create_dir_all(dest.parent().expect("has parent")).expect("mkdir fixtures");
+    std::fs::write(&dest, bytes).expect("write fixture");
+}
