@@ -26,6 +26,8 @@ pub fn is_chordal_in(ws: &mut Workspace, g: &Graph) -> bool {
     // verdict must agree with the literal all-pairs PEO definition.
     debug_assert!(
         g.node_count() > crate::check::CHECK_PEO_MAX_NODES
+            // lint:allow(hot-path-alloc): debug-only certificate — this
+            // call is compiled out of release hot paths.
             || ok == crate::check::check_peo(g, &order),
         "deferred PEO check disagrees with the definitional certificate (MCS order)"
     );
@@ -51,6 +53,8 @@ pub fn is_chordal_lexbfs_in(ws: &mut Workspace, g: &Graph) -> bool {
     let ok = is_perfect_elimination_ordering_in(ws, g, &order);
     debug_assert!(
         g.node_count() > crate::check::CHECK_PEO_MAX_NODES
+            // lint:allow(hot-path-alloc): debug-only certificate — this
+            // call is compiled out of release hot paths.
             || ok == crate::check::check_peo(g, &order),
         "deferred PEO check disagrees with the definitional certificate (LexBFS order)"
     );

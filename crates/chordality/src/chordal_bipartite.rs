@@ -39,6 +39,9 @@ pub fn is_chordal_bipartite(g: &Graph) -> bool {
     // eliminated.
     let n = g.node_count();
     let words = n.div_ceil(64);
+    // lint:allow(hot-path-alloc): bisimplicial elimination is
+    // destructive — it consumes this mutable adjacency copy; building
+    // the working state is the algorithm, not steady-state churn.
     let mut adj: Vec<Vec<NodeId>> = g.nodes().map(|v| g.neighbors(v).to_vec()).collect();
     let mut rows = vec![0u64; n * words];
     for v in g.nodes() {

@@ -2,7 +2,7 @@
 //! by the paper.
 
 use crate::{
-    find_sparse_six_cycle, find_vi_conformality_violation, is_chordal_bipartite, is_forest,
+    find_sparse_six_cycle, find_vi_conformality_violation, is_chordal_bipartite, is_forest_in,
     is_six_two_chordal_in, is_vi_chordal, is_vi_chordal_in, is_vi_conformal,
 };
 use mcc_graph::{BipartiteGraph, Side, Workspace};
@@ -138,13 +138,17 @@ pub fn classify_bipartite(bg: &BipartiteGraph) -> BipartiteClassification {
     classify_bipartite_in(&mut Workspace::new(), bg)
 }
 
+// lint:allow(hot-path-alloc): classification is registration-time work,
+// not a hot path — the blocking-under-lock rule treats it as blocking
+// precisely because it builds projections/hypergraphs; `_in` means the
+// recognizers share the caller's scratch, not that they are alloc-free.
 /// [`classify_bipartite`] through a workspace, so a long-lived caller
 /// (e.g. the `mcc-core` solver, which classifies before every dispatch)
 /// reuses one set of recognizer scratch buffers across instances.
 pub fn classify_bipartite_in(ws: &mut Workspace, bg: &BipartiteGraph) -> BipartiteClassification {
     let _span = mcc_obs::span!(Classify);
     BipartiteClassification {
-        four_one: is_forest(bg.graph()),
+        four_one: is_forest_in(ws, bg.graph()),
         six_two: is_six_two_chordal_in(ws, bg),
         six_one: is_chordal_bipartite(bg.graph()),
         v1_chordal: is_vi_chordal_in(ws, bg, Side::V1),

@@ -78,7 +78,7 @@ pub use classify::{
 pub use clique_tree::{chordal_maximal_cliques, clique_tree};
 pub use lexbfs::{lexbfs_order, lexbfs_order_in};
 pub use mcs::{mcs_order, mcs_order_in};
-pub use mn_chordal::{is_forest, is_mn_chordal_bruteforce};
+pub use mn_chordal::{is_forest, is_forest_in, is_mn_chordal_bruteforce};
 pub use peo::{is_perfect_elimination_ordering, is_perfect_elimination_ordering_in};
 pub use projection::project_onto;
 pub use six_two::{

@@ -1,7 +1,8 @@
 //! The literal Definition 4 predicate, and the (4,1)-bipartite case.
 
 use mcc_graph::{
-    chords_of_cycle, connected_components, enumerate_cycles, CycleLimits, Graph, NodeSet,
+    chords_of_cycle, connected_components_in, enumerate_cycles, CycleLimits, Graph, NodeSet,
+    Workspace,
 };
 
 /// Definitional `(m, n)`-chordality: every cycle of length ≥ `m` has at
@@ -28,7 +29,14 @@ pub fn is_mn_chordal_bruteforce(g: &Graph, m: usize, n: usize, limits: CycleLimi
 /// its 4-cycles cannot have chords, so "every cycle ≥ 4 has a chord"
 /// collapses to "no cycles at all").
 pub fn is_forest(g: &Graph) -> bool {
-    let comps = connected_components(g, &NodeSet::full(g.node_count()));
+    is_forest_in(&mut Workspace::new(), g)
+}
+
+/// [`is_forest`] through a workspace, so hot callers (the classifier)
+/// reuse the component sweep's scratch instead of building a fresh
+/// workspace per call.
+pub fn is_forest_in(ws: &mut Workspace, g: &Graph) -> bool {
+    let comps = connected_components_in(ws, g, &NodeSet::full(g.node_count()));
     g.edge_count() + comps.len() == g.node_count()
 }
 

@@ -13,6 +13,8 @@ use mcc_graph::{BipartiteGraph, Graph, NodeId, Side};
 /// ids.
 pub fn project_onto(bg: &BipartiteGraph, s: Side) -> (Graph, Vec<NodeId>) {
     let g = bg.graph();
+    // lint:allow(hot-path-alloc): the id map is half of the function's
+    // return value, not scratch.
     let mut to_parent: Vec<NodeId> = Vec::new();
     let mut index = vec![usize::MAX; g.node_count()];
     for v in bg.side_nodes(s) {

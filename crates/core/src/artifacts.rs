@@ -76,6 +76,9 @@ impl SchemaArtifacts {
         Self::build_in(&mut ws, bg)
     }
 
+    // lint:allow(hot-path-alloc): registration-time constructor, not a
+    // zero-alloc hot path — `_in` here means workspace reuse across
+    // schemas; everything built below IS the returned artifact bundle.
     /// [`SchemaArtifacts::build`] through a caller-owned workspace, so a
     /// long-lived registrar (the engine's artifact cache) reuses one set
     /// of recognizer scratch buffers across schemas.

@@ -161,6 +161,23 @@ impl SchemaArtifactCache {
     /// back and the lookup counts a **hit**.
     pub fn register(&self, schema: RelationalSchema) -> Result<SchemaId, CacheError> {
         let fingerprint = schema.fingerprint();
+        {
+            let slots = self.slots.read().unwrap_or_else(PoisonError::into_inner);
+            if let Some(i) = slots
+                .iter()
+                .position(|s| s.fingerprint == fingerprint && *s.schema == schema)
+            {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                mcc_obs::incr(mcc_obs::CounterKind::CacheHit, 1);
+                return Ok(SchemaId(i));
+            }
+        }
+        // Build outside the slot lock — classification and the disk tier
+        // are the expensive part, and holding `slots` across them would
+        // stall every concurrent lookup. Racing registrations of the
+        // same schema may duplicate the build; the re-check under the
+        // write lock below keeps ids unique and discards the loser.
+        let artifacts = self.build_or_load(&schema)?;
         let mut slots = self.slots.write().unwrap_or_else(PoisonError::into_inner);
         if let Some(i) = slots
             .iter()
@@ -170,7 +187,6 @@ impl SchemaArtifactCache {
             mcc_obs::incr(mcc_obs::CounterKind::CacheHit, 1);
             return Ok(SchemaId(i));
         }
-        let artifacts = self.build_or_load(&schema)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
         mcc_obs::incr(mcc_obs::CounterKind::CacheMiss, 1);
         slots.push(Slot {
@@ -222,6 +238,10 @@ impl SchemaArtifactCache {
                 // time it can observe the new generation the old bytes
                 // are gone and it must genuinely rebuild.
                 if let Some(store) = &self.store {
+                    // lint:allow(blocking-under-lock): the unlink under
+                    // the write lock is the invalidation barrier itself —
+                    // moving it outside reopens the stale-read race this
+                    // ordering closes (pinned by store_tier.rs).
                     store.remove(slot.fingerprint);
                 }
                 true

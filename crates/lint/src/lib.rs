@@ -4,22 +4,34 @@
 //! *repo*-level invariants that no general-purpose tool knows about —
 //! the tick discipline for wall-clock reads, the `*_in` zero-alloc
 //! hot-path convention, the engine's typed poison-handling requirement,
-//! and the `// PROVABLY:` justification protocol for panicking calls.
-//! Each rule is individually `--allow`-able and has an inline
-//! `// lint:allow(<rule>)` escape hatch; see [`rules::RULES`] for the
-//! catalog.
+//! the lock-acquisition order across `engine`/`store`, and the
+//! `// PROVABLY:` justification protocol for panicking calls.
 //!
-//! The pass is intentionally lexical (see [`lexer`]): it never typechecks
-//! and never needs the network, so it runs in milliseconds on a bare
-//! toolchain and CI can gate on it before anything else builds.
+//! The pass runs in two phases. Per-file lexical rules work straight off
+//! the [`lexer`] token stream. The interprocedural rules build a
+//! [`facts::FactDb`] (per-function calls, lock acquisitions, panics,
+//! allocations, blocking I/O), resolve a workspace [`callgraph`], and
+//! run fixed-point [`propagate`] analyses on top — so `no-panic` and
+//! `hot-path-alloc` see through function boundaries, and `lock-order`/
+//! `blocking-under-lock`/`condvar-discipline` reason about what happens
+//! while a lock is held anywhere downstream.
+//!
+//! The pass is intentionally lexical: it never typechecks and never
+//! needs the network, so it runs in milliseconds on a bare toolchain
+//! and CI can gate on it before anything else builds. Output is
+//! byte-deterministic in every format (see [`report`]).
 
 #![forbid(unsafe_code)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod callgraph;
+pub mod facts;
 pub mod lexer;
+pub mod propagate;
+pub mod report;
 pub mod rules;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -58,6 +70,8 @@ pub struct FileCtx {
     /// Whether the file belongs to a binary target (`src/bin/**` or
     /// `src/main.rs`).
     pub is_binary: bool,
+    /// Whether this file is the crate's `lib.rs`.
+    pub is_lib_root: bool,
 }
 
 impl FileCtx {
@@ -72,6 +86,35 @@ impl FileCtx {
     }
 }
 
+/// One loaded source file: its context plus its lexical analysis.
+pub struct SourceFile {
+    /// File identity and scoping.
+    pub ctx: FileCtx,
+    /// Token stream, sanitized text, and per-line directives.
+    pub analysis: lexer::Analysis,
+}
+
+/// The fully-analyzed workspace handed to interprocedural rules.
+pub struct Workspace {
+    /// Every `crates/*/src` file, in sorted walk order.
+    pub files: Vec<SourceFile>,
+    /// Per-function facts and declared locks.
+    pub facts: facts::FactDb,
+    /// The resolved call graph over [`Workspace::facts`].
+    pub graph: callgraph::CallGraph,
+    /// Index from workspace-relative path to `files` position.
+    by_path: BTreeMap<String, usize>,
+}
+
+impl Workspace {
+    /// Whether `lint:allow(rule)` covers `line` (0-based) of `file`.
+    pub fn allowed_at(&self, file: &str, line: usize, rule: &str) -> bool {
+        self.by_path
+            .get(file)
+            .is_some_and(|&i| self.files[i].analysis.allowed_at(line, rule))
+    }
+}
+
 /// What to run and what to suppress.
 pub struct Config {
     /// Directory containing the crate subdirectories (normally
@@ -81,12 +124,10 @@ pub struct Config {
     pub allow: BTreeSet<String>,
 }
 
-/// Runs every enabled rule over every `crates/*/src` file under
-/// `config.crates_dir`. Diagnostics come back sorted by (file, line,
-/// rule). I/O errors (unreadable dirs/files) are reported as `Err`.
-pub fn run(config: &Config) -> Result<Vec<Diagnostic>, String> {
-    let mut out = Vec::new();
-    let mut crates: Vec<PathBuf> = read_dir_sorted(&config.crates_dir)?
+/// Loads every `crates/*/src/**/*.rs` file under `crates_dir`.
+pub fn load_workspace(crates_dir: &Path) -> Result<Workspace, String> {
+    let mut files = Vec::new();
+    let mut crates: Vec<PathBuf> = read_dir_sorted(crates_dir)?
         .into_iter()
         .filter(|p| p.is_dir())
         .collect();
@@ -97,43 +138,120 @@ pub fn run(config: &Config) -> Result<Vec<Diagnostic>, String> {
             continue;
         }
         let crate_name = file_name_of(krate);
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files)?;
-        files.sort();
+        let mut paths = Vec::new();
+        collect_rs_files(&src, &mut paths)?;
+        paths.sort();
         let has_lib = src.join("lib.rs").is_file();
-        for path in &files {
+        for path in &paths {
             let text =
                 fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
             let analysis = lexer::analyze(&text);
-            let ctx = file_ctx(path, &config.crates_dir, &crate_name);
-            let is_lib_root = has_lib && ctx.file_name == "lib.rs" && !ctx.is_binary;
+            let ctx = file_ctx(path, crates_dir, &crate_name, has_lib);
+            files.push(SourceFile { ctx, analysis });
+        }
+    }
+    let mut deps: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for krate in &crates {
+        let manifest = krate.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            deps.insert(file_name_of(krate), manifest_deps(&text));
+        }
+    }
+    transitive_close(&mut deps);
+    let facts = facts::extract(&files);
+    let graph = callgraph::build(&facts, &deps);
+    let by_path = files
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (f.ctx.rel_path.clone(), i))
+        .collect();
+    Ok(Workspace {
+        files,
+        facts,
+        graph,
+        by_path,
+    })
+}
 
-            let enabled = |rule: &str| !config.allow.contains(rule);
-            if is_lib_root && enabled("forbid-unsafe") {
-                rules::forbid_unsafe(&ctx, &analysis, &mut out);
+/// Runs every enabled rule over the workspace under `config.crates_dir`.
+/// Diagnostics come back sorted by (file, line, rule). I/O errors
+/// (unreadable dirs/files) are reported as `Err`.
+pub fn run(config: &Config) -> Result<Vec<Diagnostic>, String> {
+    let ws = load_workspace(&config.crates_dir)?;
+    let mut out = Vec::new();
+    for rule in rules::RULES {
+        if config.allow.contains(rule.name) {
+            continue;
+        }
+        match rule.kind {
+            rules::RuleKind::File(f) => {
+                for sf in &ws.files {
+                    f(&sf.ctx, &sf.analysis, &mut out);
+                }
             }
-            if enabled("no-panic") {
-                rules::no_panic(&ctx, &analysis, &mut out);
-            }
-            if enabled("no-wall-clock") {
-                rules::no_wall_clock(&ctx, &analysis, &mut out);
-            }
-            if enabled("hot-path-alloc") {
-                rules::hot_path_alloc(&ctx, &analysis, &mut out);
-            }
-            if enabled("hot-path-adjacency") {
-                rules::hot_path_adjacency(&ctx, &analysis, &mut out);
-            }
-            if enabled("engine-lock-unwrap") {
-                rules::engine_lock_unwrap(&ctx, &analysis, &mut out);
-            }
-            if enabled("missing-docs") {
-                rules::missing_docs(&ctx, &analysis, &mut out);
-            }
+            rules::RuleKind::Workspace(f) => f(&ws, &mut out),
         }
     }
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out.dedup();
     Ok(out)
+}
+
+/// Parses the `[dependencies]` table of one crate manifest for
+/// workspace-internal deps (`mcc` is the `core` crate directory;
+/// `mcc-foo` is `foo`). Dev-dependencies are excluded on purpose: the
+/// call graph only covers non-test code.
+fn manifest_deps(text: &str) -> BTreeSet<String> {
+    let mut deps = BTreeSet::new();
+    let mut in_deps = false;
+    for line in text.lines() {
+        let l = line.trim();
+        if l.starts_with('[') {
+            in_deps = l == "[dependencies]";
+            continue;
+        }
+        if !in_deps {
+            continue;
+        }
+        let Some(name) = l.split(['.', ' ', '=']).next() else {
+            continue;
+        };
+        if name == "mcc" {
+            deps.insert("core".to_string());
+        } else if let Some(rest) = name.strip_prefix("mcc-") {
+            deps.insert(rest.to_string());
+        }
+    }
+    deps
+}
+
+/// Closes the dependency map under transitivity (a → b → c means a
+/// sees c's items through re-exports and returned types).
+fn transitive_close(deps: &mut BTreeMap<String, BTreeSet<String>>) {
+    let names: Vec<String> = deps.keys().cloned().collect();
+    loop {
+        let mut changed = false;
+        for name in &names {
+            let direct: Vec<String> = deps
+                .get(name)
+                .map(|d| d.iter().cloned().collect())
+                .unwrap_or_default();
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for d in &direct {
+                if let Some(dd) = deps.get(d) {
+                    add.extend(dd.iter().cloned());
+                }
+            }
+            if let Some(set) = deps.get_mut(name) {
+                let before = set.len();
+                set.extend(add);
+                changed |= set.len() != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
 }
 
 fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
@@ -164,7 +282,7 @@ fn file_name_of(path: &Path) -> String {
         .unwrap_or_default()
 }
 
-fn file_ctx(path: &Path, crates_dir: &Path, crate_name: &str) -> FileCtx {
+fn file_ctx(path: &Path, crates_dir: &Path, crate_name: &str, has_lib: bool) -> FileCtx {
     let rel = path.strip_prefix(crates_dir).unwrap_or(path);
     let rel_path = {
         let mut s = String::from("crates");
@@ -176,11 +294,13 @@ fn file_ctx(path: &Path, crates_dir: &Path, crate_name: &str) -> FileCtx {
     };
     let file_name = file_name_of(path);
     let is_binary = rel_path.contains("/src/bin/") || file_name == "main.rs";
+    let is_lib_root = has_lib && file_name == "lib.rs" && !is_binary;
     FileCtx {
         rel_path,
         crate_name: crate_name.to_string(),
         file_name,
         is_binary,
+        is_lib_root,
     }
 }
 

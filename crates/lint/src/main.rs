@@ -1,25 +1,44 @@
 //! `mcc-lint` CLI — run the workspace static-analysis pass.
 //!
 //! ```text
-//! mcc-lint [--root DIR] [--allow RULE]... [--list-rules]
+//! mcc-lint [--root DIR] [--allow RULE]... [--format text|json|sarif]
+//!          [--output FILE] [--baseline FILE] [--write-baseline FILE]
+//!          [--list-rules]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error.
+//! With `--baseline`, diagnostics listed in the baseline file are
+//! accepted: they are excluded from the report and do not fail the run.
+//! `--format json|sarif` emits a byte-deterministic machine report (to
+//! stdout, or to `--output FILE`); the human summary goes to stderr.
+//!
+//! Exit codes: 0 clean (after baseline), 1 diagnostics reported, 2
+//! usage or I/O error.
 
 use std::collections::BTreeSet;
 use std::process::ExitCode;
 
-use mcc_lint::{resolve_root, rules, Config};
+use mcc_lint::{report, resolve_root, rules, Config, Diagnostic};
+
+/// Output format selection.
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 fn main() -> ExitCode {
     let mut root: Option<String> = None;
     let mut allow: BTreeSet<String> = BTreeSet::new();
+    let mut format = Format::Text;
+    let mut output: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut write_baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list-rules" => {
-                for (name, desc) in rules::RULES {
-                    println!("{name:20} {desc}");
+                for r in rules::RULES {
+                    println!("{:20} {}", r.name, r.desc);
                 }
                 return ExitCode::SUCCESS;
             }
@@ -29,16 +48,39 @@ fn main() -> ExitCode {
             },
             "--allow" => match args.next() {
                 Some(rule) => {
-                    if !rules::RULES.iter().any(|(name, _)| *name == rule) {
+                    if !rules::RULES.iter().any(|r| r.name == rule) {
                         return usage(&format!("unknown rule `{rule}` (see --list-rules)"));
                     }
                     allow.insert(rule);
                 }
                 None => return usage("--allow requires a rule name"),
             },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    return usage(&format!("unknown format `{other}` (text|json|sarif)"))
+                }
+                None => return usage("--format requires text|json|sarif"),
+            },
+            "--output" => match args.next() {
+                Some(path) => output = Some(path),
+                None => return usage("--output requires a file path"),
+            },
+            "--baseline" => match args.next() {
+                Some(path) => baseline = Some(path),
+                None => return usage("--baseline requires a file path"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(path) => write_baseline = Some(path),
+                None => return usage("--write-baseline requires a file path"),
+            },
             "--help" | "-h" => {
                 println!(
-                    "mcc-lint [--root DIR] [--allow RULE]... [--list-rules]\n\
+                    "mcc-lint [--root DIR] [--allow RULE]... [--format text|json|sarif]\n\
+                     \x20        [--output FILE] [--baseline FILE] [--write-baseline FILE]\n\
+                     \x20        [--list-rules]\n\
                      Workspace static analysis: repo invariants as machine-checked rules."
                 );
                 return ExitCode::SUCCESS;
@@ -52,27 +94,94 @@ fn main() -> ExitCode {
         crates_dir: root.join("crates"),
         allow,
     };
-    match mcc_lint::run(&config) {
-        Ok(diags) if diags.is_empty() => {
-            println!("mcc-lint: clean ({} rules)", rules::RULES.len());
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                eprintln!("{d}");
-            }
-            eprintln!("mcc-lint: {} violation(s)", diags.len());
-            ExitCode::FAILURE
-        }
+    let diags = match mcc_lint::run(&config) {
+        Ok(diags) => diags,
         Err(e) => {
             eprintln!("mcc-lint: error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = write_baseline {
+        let text = report::render_baseline(&diags);
+        if let Err(e) = std::fs::write(&path, text) {
+            eprintln!("mcc-lint: error: writing {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "mcc-lint: wrote {} baseline entr(ies) to {path}",
+            diags.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Apply the baseline: accepted diagnostics neither print nor fail.
+    let (diags, accepted) = match baseline {
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("mcc-lint: error: reading {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let set = match report::parse_baseline(&text) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("mcc-lint: error: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            report::apply_baseline(diags, &set)
+        }
+        None => (diags, Vec::new()),
+    };
+
+    let rendered = match format {
+        Format::Text => None,
+        Format::Json => Some(report::to_json(&diags)),
+        Format::Sarif => Some(report::to_sarif(&diags)),
+    };
+    if let Some(body) = rendered {
+        match &output {
+            Some(path) => {
+                if let Err(e) = std::fs::write(path, &body) {
+                    eprintln!("mcc-lint: error: writing {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+            None => print!("{body}"),
         }
     }
+
+    summarize(&diags, accepted.len(), matches!(format, Format::Text))
+}
+
+/// Prints the human-facing summary and picks the exit code.
+fn summarize(diags: &[Diagnostic], accepted: usize, text_mode: bool) -> ExitCode {
+    let note = if accepted > 0 {
+        format!(" ({accepted} baselined)")
+    } else {
+        String::new()
+    };
+    if diags.is_empty() {
+        eprintln!("mcc-lint: clean ({} rules){note}", rules::RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    if text_mode {
+        for d in diags {
+            eprintln!("{d}");
+        }
+    }
+    eprintln!("mcc-lint: {} violation(s){note}", diags.len());
+    ExitCode::FAILURE
 }
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("mcc-lint: {msg}");
-    eprintln!("usage: mcc-lint [--root DIR] [--allow RULE]... [--list-rules]");
+    eprintln!(
+        "usage: mcc-lint [--root DIR] [--allow RULE]... [--format text|json|sarif]\n\
+         \x20      [--output FILE] [--baseline FILE] [--write-baseline FILE] [--list-rules]"
+    );
     ExitCode::from(2)
 }

@@ -1,0 +1,217 @@
+//! Machine-readable reporting: byte-deterministic JSON and SARIF 2.1.0
+//! writers, and the checked-in baseline format.
+//!
+//! Determinism is load-bearing: CI archives the SARIF artifact and the
+//! golden tests pin both formats byte-for-byte, so the writers are
+//! hand-rolled (no dependency, no map-iteration-order hazards — the
+//! diagnostic list arrives already sorted by (file, line, rule)).
+//!
+//! The baseline file lets a new rule adopt incrementally: one line per
+//! accepted diagnostic, `file:line: [rule]` (messages are excluded so
+//! wording changes don't churn the baseline), `#` comments ignored.
+
+use std::collections::BTreeSet;
+
+use crate::rules::RULES;
+use crate::Diagnostic;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as the tool's native JSON report.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"mcc-lint\",\n  \"version\": 1,\n  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&d.file),
+            d.line,
+            esc(d.rule),
+            esc(&d.message)
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str(&format!("  \"count\": {}\n}}\n", diags.len()));
+    out
+}
+
+/// Renders diagnostics as a SARIF 2.1.0 log (the format CI archives and
+/// code-review UIs ingest).
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"mcc-lint\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(r.name),
+            esc(r.desc)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index = RULES
+            .iter()
+            .position(|r| r.name == d.rule)
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"error\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            esc(d.rule),
+            rule_index,
+            esc(&d.message),
+            esc(&d.file),
+            d.line
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n      ]\n");
+    }
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+/// One baseline entry: an accepted diagnostic location.
+pub type BaselineEntry = (String, usize, String);
+
+/// Parses a baseline file body into its entry set. Lines are
+/// `file:line: [rule]`; blank lines and `#` comments are skipped;
+/// malformed lines are reported as errors (a silently dropped entry
+/// would un-suppress a finding).
+pub fn parse_baseline(text: &str) -> Result<BTreeSet<BaselineEntry>, String> {
+    let mut set = BTreeSet::new();
+    for (n, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let parsed = (|| {
+            let open = line.find('[')?;
+            let close = line.rfind(']')?;
+            let rule = line.get(open + 1..close)?.to_string();
+            let head = line.get(..open)?.trim().trim_end_matches(':').trim();
+            let colon = head.rfind(':')?;
+            let file = head.get(..colon)?.to_string();
+            let lineno: usize = head.get(colon + 1..)?.parse().ok()?;
+            Some((file, lineno, rule))
+        })();
+        match parsed {
+            Some(entry) => {
+                set.insert(entry);
+            }
+            None => return Err(format!("baseline line {}: malformed entry `{raw}`", n + 1)),
+        }
+    }
+    Ok(set)
+}
+
+/// Renders diagnostics in baseline format (for `--write-baseline`).
+pub fn render_baseline(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "# mcc-lint baseline: accepted diagnostics, one `file:line: [rule]` per line.\n\
+         # Regenerate with `cargo run -p mcc-lint -- --write-baseline lint-baseline.txt`.\n\
+         # The goal state is an empty list: fix or justify, don't accumulate.\n",
+    );
+    for d in diags {
+        out.push_str(&format!("{}:{}: [{}]\n", d.file, d.line, d.rule));
+    }
+    out
+}
+
+/// Splits diagnostics into (new, baselined) against a baseline set.
+pub fn apply_baseline(
+    diags: Vec<Diagnostic>,
+    baseline: &BTreeSet<BaselineEntry>,
+) -> (Vec<Diagnostic>, Vec<Diagnostic>) {
+    diags
+        .into_iter()
+        .partition(|d| !baseline.contains(&(d.file.clone(), d.line, d.rule.to_string())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: usize, rule: &'static str, msg: &str) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule,
+            message: msg.into(),
+        }
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let d = vec![diag("a.rs", 3, "no-panic", "say \"hi\"\nthere")];
+        let j = to_json(&d);
+        assert!(j.contains("\\\"hi\\\"\\nthere"));
+        assert!(j.contains("\"count\": 1"));
+    }
+
+    #[test]
+    fn sarif_lists_all_rules_and_results() {
+        let d = vec![diag("a.rs", 3, "no-panic", "m")];
+        let s = to_sarif(&d);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"id\": \"lock-order\""));
+        assert!(s.contains("\"startLine\": 3"));
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let d = vec![
+            diag("crates/a/src/lib.rs", 10, "no-panic", "m"),
+            diag("crates/b/src/lib.rs", 2, "lock-order", "m"),
+        ];
+        let text = render_baseline(&d);
+        let set = parse_baseline(&text).unwrap_or_default();
+        assert_eq!(set.len(), 2);
+        let (new, old) = apply_baseline(d, &set);
+        assert!(new.is_empty());
+        assert_eq!(old.len(), 2);
+    }
+
+    #[test]
+    fn malformed_baseline_lines_are_errors() {
+        assert!(parse_baseline("not an entry\n").is_err());
+        assert!(parse_baseline("# comment\n\n").is_ok());
+    }
+}

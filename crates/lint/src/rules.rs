@@ -1,111 +1,162 @@
-//! The seven workspace rules, each a pure function from a lexed file (or
-//! crate) to diagnostics.
+//! The workspace rule catalog: per-file lexical rules plus the
+//! interprocedural workspace rules from [`crate::propagate`].
+//!
+//! [`RULES`] is the single source of truth — [`crate::run`] iterates it
+//! directly, `--list-rules`, `--allow` validation, and the SARIF rule
+//! table all render from it, so a rule cannot exist without being wired
+//! (and vice versa).
 //!
 //! Scoping conventions shared by the rules:
 //!
 //! * "library code" excludes binary targets (`src/bin/**`, `src/main.rs`)
 //!   — binaries are allowed to be chattier;
 //! * test code (`#[cfg(test)]` / `#[test]` regions) is exempt from the
-//!   panic, allocation, and doc rules — tests *should* unwrap;
+//!   panic, allocation, and doc rules — tests *should* unwrap — and is
+//!   excluded from the call graph entirely;
 //! * every rule honors the inline `// lint:allow(<rule>)` escape hatch on
 //!   the offending line or the comment block directly above it.
 
 use crate::lexer::Analysis;
-use crate::{Diagnostic, FileCtx};
+use crate::propagate;
+use crate::{Diagnostic, FileCtx, Workspace};
 
-/// Rule names, in the order rules run. Kept in one place so `--allow`
-/// validation and `--list-rules` stay in sync with the implementations.
-pub const RULES: &[(&str, &str)] = &[
-    (
-        "forbid-unsafe",
-        "every library crate's lib.rs declares #![forbid(unsafe_code)]",
-    ),
-    (
-        "no-panic",
-        "no unwrap()/expect()/panic!/unreachable! in non-test library code \
-         without a // PROVABLY: justification",
-    ),
-    (
-        "no-wall-clock",
-        "no Instant::now()/SystemTime::now() outside CancelToken/budget code \
-         without a // PROVABLY: justification (tick discipline)",
-    ),
-    (
-        "hot-path-alloc",
-        "no Vec::new/Box::new/to_vec/collect inside *_in functions \
-         (zero-alloc hot-path convention)",
-    ),
-    (
-        "hot-path-adjacency",
-        "no .has_edge()/.adjacent_to_set() inside *_in functions — use the \
-         word-parallel has_edge_fast/adjacent_to_set_into forms",
-    ),
-    (
-        "engine-lock-unwrap",
-        "no lock().unwrap() in crates/engine — handle PoisonError explicitly",
-    ),
-    (
-        "missing-docs",
-        "every pub item in crates/{core,engine,datamodel} carries a doc comment",
-    ),
+/// How a rule runs: over each file independently, or once over the
+/// resolved workspace (facts + call graph).
+pub enum RuleKind {
+    /// Per-file lexical rule.
+    File(fn(&FileCtx, &Analysis, &mut Vec<Diagnostic>)),
+    /// Workspace-scoped interprocedural rule.
+    Workspace(fn(&Workspace, &mut Vec<Diagnostic>)),
+}
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable rule name (diagnostic tag, `--allow` key, SARIF ruleId).
+    pub name: &'static str,
+    /// One-line description.
+    pub desc: &'static str,
+    /// Execution shape.
+    pub kind: RuleKind,
+}
+
+/// Every rule, in execution order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        name: "forbid-unsafe",
+        desc: "every library crate's lib.rs declares #![forbid(unsafe_code)] \
+               as an inner attribute",
+        kind: RuleKind::File(forbid_unsafe),
+    },
+    Rule {
+        name: "no-panic",
+        desc: "no unwrap()/expect()/panic!/unreachable! reachable from public \
+               library code without a // PROVABLY: justification (transitive)",
+        kind: RuleKind::Workspace(propagate::no_panic),
+    },
+    Rule {
+        name: "no-wall-clock",
+        desc: "no Instant::now()/SystemTime::now() outside CancelToken/budget code \
+               without a // PROVABLY: justification (tick discipline)",
+        kind: RuleKind::File(no_wall_clock),
+    },
+    Rule {
+        name: "hot-path-alloc",
+        desc: "no Vec::new/Box::new/to_vec/collect reachable from *_in functions \
+               (zero-alloc hot-path convention, transitive)",
+        kind: RuleKind::Workspace(propagate::hot_path_alloc),
+    },
+    Rule {
+        name: "hot-path-adjacency",
+        desc: "no .has_edge()/.adjacent_to_set() inside *_in functions — use the \
+               word-parallel has_edge_fast/adjacent_to_set_into forms",
+        kind: RuleKind::File(hot_path_adjacency),
+    },
+    Rule {
+        name: "engine-lock-unwrap",
+        desc: "no lock().unwrap() in crates/{engine,store} — handle PoisonError \
+               explicitly",
+        kind: RuleKind::File(engine_lock_unwrap),
+    },
+    Rule {
+        name: "missing-docs",
+        desc: "every pub item in crates/{core,engine,datamodel,obs,store} carries \
+               a doc comment",
+        kind: RuleKind::File(missing_docs),
+    },
+    Rule {
+        name: "lock-order",
+        desc: "the workspace lock-acquisition order graph is acyclic — any cycle \
+               is reported as a potential deadlock with witness chains",
+        kind: RuleKind::Workspace(propagate::lock_order),
+    },
+    Rule {
+        name: "blocking-under-lock",
+        desc: "no disk I/O or artifact classification reachable while a cache-slot \
+               or store lock is held",
+        kind: RuleKind::Workspace(propagate::blocking_under_lock),
+    },
+    Rule {
+        name: "condvar-discipline",
+        desc: "every Condvar::wait/wait_timeout sits inside a predicate loop \
+               (spurious wakeups)",
+        kind: RuleKind::Workspace(propagate::condvar_discipline),
+    },
 ];
 
-/// Rule 1: the crate's `lib.rs` must carry `#![forbid(unsafe_code)]`.
-///
-/// Runs once per crate (on `lib.rs` only); crates without a `lib.rs`
-/// (pure binaries) are skipped by the caller.
+/// Rule: the crate's `lib.rs` must carry `#![forbid(unsafe_code)]` as an
+/// **inner attribute**. A bare `forbid(unsafe_code)` elsewhere — an
+/// outer `#[forbid(unsafe_code)]` on one item, a `cfg_attr` branch — is
+/// not crate-wide and does not count.
 pub fn forbid_unsafe(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
+    if !ctx.is_lib_root {
+        return;
+    }
     let toks = &a.tokens;
-    let found = toks.windows(4).any(|w| {
-        w[0].text == "forbid" && w[1].text == "(" && w[2].text == "unsafe_code" && w[3].text == ")"
-    });
+    let mut found = false;
+    let mut i = 0usize;
+    while i + 2 < toks.len() {
+        // Inner attribute head: `#` `!` `[`.
+        if toks[i].text != "#" || toks[i + 1].text != "!" || toks[i + 2].text != "[" {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute body to its matching `]`.
+        let mut depth = 0usize;
+        let mut j = i + 2;
+        let mut body: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "[" => depth += 1,
+                "]" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                other => body.push(other),
+            }
+            j += 1;
+        }
+        if body
+            .windows(4)
+            .any(|w| w == ["forbid", "(", "unsafe_code", ")"])
+        {
+            found = true;
+            break;
+        }
+        i = j + 1;
+    }
     if !found {
         out.push(ctx.diag(
             0,
             "forbid-unsafe",
-            "library crate does not declare #![forbid(unsafe_code)] in lib.rs",
+            "library crate does not declare #![forbid(unsafe_code)] as an inner \
+             attribute in lib.rs",
         ));
     }
 }
 
-/// Rule 2: panicking constructs need a `// PROVABLY:` justification.
-pub fn no_panic(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    if ctx.is_binary {
-        return;
-    }
-    let toks = &a.tokens;
-    for i in 0..toks.len() {
-        let t = &toks[i];
-        if a.is_test_line(t.line) {
-            continue;
-        }
-        let hit = match t.text.as_str() {
-            // `.unwrap(` / `.expect(` — method calls only, so idents named
-            // e.g. `expect` in other positions don't trip the rule.
-            "unwrap" | "expect" => {
-                i > 0
-                    && toks[i - 1].text == "."
-                    && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
-            }
-            // `panic!` / `unreachable!` — macro invocations only, so
-            // `std::panic::catch_unwind` stays legal.
-            "panic" | "unreachable" => toks.get(i + 1).map(|n| n.text.as_str()) == Some("!"),
-            _ => false,
-        };
-        if hit && !a.provably_at(t.line) && !a.allowed_at(t.line, "no-panic") {
-            out.push(ctx.diag(
-                t.line,
-                "no-panic",
-                &format!(
-                    "`{}` in non-test library code without a // PROVABLY: justification",
-                    t.text
-                ),
-            ));
-        }
-    }
-}
-
-/// Rule 3: wall-clock reads are confined to the budget/cancellation
+/// Rule: wall-clock reads are confined to the budget/cancellation
 /// layer, or carry a `// PROVABLY:` justification (the observability
 /// clock's single monotonic-epoch read is the intended user — see
 /// `crates/obs/src/clock.rs`).
@@ -139,80 +190,7 @@ pub fn no_wall_clock(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Rule 4: functions named `*_in` are the zero-alloc hot paths — no
-/// allocating calls inside them.
-pub fn hot_path_alloc(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    if ctx.is_binary {
-        return;
-    }
-    let toks = &a.tokens;
-    // Stack of (fn-name-is-hot, brace-depth-at-body-open); we flag
-    // allocations whenever any enclosing fn is a `*_in`.
-    let mut stack: Vec<(bool, usize)> = Vec::new();
-    let mut depth = 0usize;
-    let mut pending: Option<bool> = None; // saw `fn name`, waiting for its `{`
-    let mut sig_depth = 0usize; // paren/bracket nesting inside the signature
-    let mut i = 0usize;
-    while i < toks.len() {
-        let t = &toks[i];
-        match t.text.as_str() {
-            "fn" => {
-                if let Some(name) = toks.get(i + 1) {
-                    pending = Some(name.text.ends_with("_in"));
-                    sig_depth = 0;
-                }
-            }
-            "(" | "[" if pending.is_some() => sig_depth += 1,
-            ")" | "]" if pending.is_some() => sig_depth = sig_depth.saturating_sub(1),
-            // A `;` at signature level before the body terminates the
-            // item (trait method declarations); `;` inside parens or
-            // brackets (array types like `[u32; 4]`) does not.
-            ";" if sig_depth == 0 => pending = None,
-            "{" => {
-                depth += 1;
-                if let Some(hot) = pending.take() {
-                    stack.push((hot, depth));
-                }
-            }
-            "}" => {
-                if stack.last().is_some_and(|s| s.1 == depth) {
-                    stack.pop();
-                }
-                depth = depth.saturating_sub(1);
-            }
-            _ => {}
-        }
-        let in_hot = stack.iter().any(|s| s.0);
-        if in_hot && !a.is_test_line(t.line) {
-            let alloc = match t.text.as_str() {
-                "Vec" | "Box" => {
-                    toks.get(i + 1).map(|n| n.text.as_str()) == Some("::")
-                        && toks.get(i + 2).map(|n| n.text.as_str()) == Some("new")
-                }
-                "to_vec" | "collect" => i > 0 && toks[i - 1].text == ".",
-                _ => false,
-            };
-            if alloc && !a.allowed_at(t.line, "hot-path-alloc") {
-                let what = match t.text.as_str() {
-                    "Vec" | "Box" => format!("{}::new", t.text),
-                    other => other.to_string(),
-                };
-                out.push(ctx.diag(
-                    t.line,
-                    "hot-path-alloc",
-                    &format!("`{what}` allocates inside a `*_in` zero-alloc hot path"),
-                ));
-                // Skip the `::new` tokens so one call yields one diagnostic.
-                if t.text == "Vec" || t.text == "Box" {
-                    i += 2;
-                }
-            }
-        }
-        i += 1;
-    }
-}
-
-/// Rule 5: inside `*_in` hot paths the slow adjacency entry points are
+/// Rule: inside `*_in` hot paths the slow adjacency entry points are
 /// forbidden — `.has_edge()` has the O(1) word-probe `has_edge_fast()`
 /// and `.adjacent_to_set()` has the allocation-free, word-parallel
 /// `adjacent_to_set_into()`. The graph crate itself is exempt: it
@@ -223,8 +201,8 @@ pub fn hot_path_adjacency(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>
         return;
     }
     let toks = &a.tokens;
-    // Same `*_in`-function tracking as `hot_path_alloc` (see there for
-    // the signature/brace bookkeeping).
+    // `*_in`-function tracking: brace depth plus a pending-signature
+    // flag (a `;` at signature level cancels a bodyless trait method).
     let mut stack: Vec<(bool, usize)> = Vec::new();
     let mut depth = 0usize;
     let mut pending: Option<bool> = None;
@@ -279,10 +257,10 @@ pub fn hot_path_adjacency(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>
     }
 }
 
-/// Rule 6: in `crates/engine`, lock acquisition must go through the typed
-/// poison-handling path, never `.unwrap()`.
+/// Rule: in `crates/engine` and `crates/store`, lock acquisition must go
+/// through the typed poison-handling path, never `.unwrap()`.
 pub fn engine_lock_unwrap(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    if ctx.crate_name != "engine" {
+    if ctx.crate_name != "engine" && ctx.crate_name != "store" {
         return;
     }
     const LOCKISH: &[&str] = &["lock", "read", "write", "wait", "wait_timeout", "try_lock"];
@@ -310,7 +288,7 @@ pub fn engine_lock_unwrap(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>
                 "(" => {
                     depth -= 1;
                     if depth == 0 {
-                        break j.checked_sub(1).map(|k| toks[k].text.as_str());
+                        break j.checked_sub(1);
                     }
                 }
                 _ => {}
@@ -320,14 +298,23 @@ pub fn engine_lock_unwrap(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>
             }
             j -= 1;
         };
-        if let Some(name) = callee {
-            if LOCKISH.contains(&name) && !a.allowed_at(toks[i].line, "engine-lock-unwrap") {
+        if let Some(k) = callee {
+            let name = toks[k].text.as_str();
+            // Method calls only: `guard.read().unwrap()` acquires a lock,
+            // `fs::read(path).unwrap()` does not (that's the no-panic
+            // rule's jurisdiction).
+            let is_method = k > 0 && toks[k - 1].text == ".";
+            if is_method
+                && LOCKISH.contains(&name)
+                && !a.allowed_at(toks[i].line, "engine-lock-unwrap")
+            {
                 out.push(ctx.diag(
                     toks[i].line,
                     "engine-lock-unwrap",
                     &format!(
-                        "`{name}().unwrap()` in crates/engine — use the PoisonError \
-                         recovery path (unwrap_or_else(PoisonError::into_inner))"
+                        "`{name}().unwrap()` in crates/{} — use the PoisonError \
+                         recovery path (unwrap_or_else(PoisonError::into_inner))",
+                        ctx.crate_name
                     ),
                 ));
             }
@@ -335,9 +322,14 @@ pub fn engine_lock_unwrap(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>
     }
 }
 
-/// Rule 7: public API in the user-facing crates must be documented.
+/// Rule: public API in the user-facing crates must be documented.
 pub fn missing_docs(ctx: &FileCtx, a: &Analysis, out: &mut Vec<Diagnostic>) {
-    if ctx.is_binary || !matches!(ctx.crate_name.as_str(), "core" | "engine" | "datamodel") {
+    if ctx.is_binary
+        || !matches!(
+            ctx.crate_name.as_str(),
+            "core" | "engine" | "datamodel" | "obs" | "store"
+        )
+    {
         return;
     }
     // Item keywords that can follow `pub` (modifiers like async/unsafe/

@@ -1,11 +1,12 @@
 //! End-to-end fixture tests: a tree of deliberately seeded rule
 //! violations under `tests/fixtures/crates/` (never compiled by cargo,
 //! never scanned by the real pass) must be reported with exact
-//! `file:line` locations, and every exemption mechanism — `lint:allow`,
-//! `// PROVABLY:`, `#[cfg(test)]` regions, budget files, binaries —
-//! must produce *no* diagnostic.
+//! `file:line` locations, and every exemption mechanism — `lint:allow`
+//! on a site, `lint:allow` as a chain-break on a call line, `//
+//! PROVABLY:`, `#[cfg(test)]` regions, budget files, binaries, predicate
+//! loops, the PoisonError recovery path — must produce *no* diagnostic.
 
-use mcc_lint::{run, Config};
+use mcc_lint::{run, Config, Diagnostic};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
@@ -13,26 +14,40 @@ fn fixtures() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/crates")
 }
 
-#[test]
-fn seeded_violations_are_reported_with_exact_locations() {
+fn run_fixtures(allow: &[&str]) -> Vec<Diagnostic> {
     let config = Config {
         crates_dir: fixtures(),
-        allow: BTreeSet::new(),
+        allow: allow.iter().map(|s| s.to_string()).collect::<BTreeSet<_>>(),
     };
-    let diags = run(&config).expect("fixture tree is readable");
+    run(&config).expect("fixture tree is readable")
+}
+
+#[test]
+fn seeded_violations_are_reported_with_exact_locations() {
+    let diags = run_fixtures(&[]);
     let got: Vec<(&str, usize, &str)> = diags
         .iter()
         .map(|d| (d.file.as_str(), d.line, d.rule))
         .collect();
     // One entry per seeded violation — anything beyond this list would
-    // mean an exemption (lint:allow, PROVABLY, cfg(test), budget file,
-    // binary) failed to suppress.
+    // mean an exemption (lint:allow, chain-break allow, PROVABLY,
+    // cfg(test), budget file, binary, predicate loop, poison recovery)
+    // failed to suppress.
     let expected = vec![
+        ("crates/chains/src/lib.rs", 16, "no-panic"),
+        ("crates/chains/src/lib.rs", 26, "hot-path-alloc"),
         ("crates/core/src/lib.rs", 8, "missing-docs"),
         ("crates/engine/src/lib.rs", 9, "engine-lock-unwrap"),
         ("crates/engine/src/lib.rs", 9, "no-panic"),
+        ("crates/locks/src/lib.rs", 19, "lock-order"),
+        ("crates/locks/src/lib.rs", 40, "condvar-discipline"),
+        ("crates/locks/src/lib.rs", 59, "blocking-under-lock"),
+        ("crates/locks/src/lib.rs", 66, "blocking-under-lock"),
         ("crates/nounsafe/src/lib.rs", 1, "forbid-unsafe"),
+        ("crates/outerforbid/src/lib.rs", 1, "forbid-unsafe"),
         ("crates/store/src/lib.rs", 10, "no-panic"),
+        ("crates/store/src/lib.rs", 35, "engine-lock-unwrap"),
+        ("crates/store/src/lib.rs", 35, "no-panic"),
         ("crates/widgets/src/lib.rs", 10, "no-panic"),
         ("crates/widgets/src/lib.rs", 27, "no-wall-clock"),
         ("crates/widgets/src/lib.rs", 44, "hot-path-alloc"),
@@ -42,12 +57,34 @@ fn seeded_violations_are_reported_with_exact_locations() {
 }
 
 #[test]
+fn every_rule_fires_on_the_fixture_tree() {
+    // The RULES registry and the checks wired in run() are maintained
+    // in parallel by hand; this pins them to each other in both
+    // directions. A registered rule with no seeded violation means
+    // run() dropped it (or the fixture is missing); a diagnostic whose
+    // rule is not registered means run() grew a check that --list-rules
+    // and the SARIF rules table don't know about.
+    let diags = run_fixtures(&[]);
+    let fired: BTreeSet<&str> = diags.iter().map(|d| d.rule).collect();
+    for rule in mcc_lint::rules::RULES {
+        assert!(
+            fired.contains(rule.name),
+            "rule `{}` has no seeded fixture violation",
+            rule.name
+        );
+    }
+    let registered: BTreeSet<&str> = mcc_lint::rules::RULES.iter().map(|r| r.name).collect();
+    for rule in fired {
+        assert!(
+            registered.contains(rule),
+            "run() emitted unregistered rule `{rule}`"
+        );
+    }
+}
+
+#[test]
 fn diagnostics_render_as_file_line_rule() {
-    let config = Config {
-        crates_dir: fixtures(),
-        allow: BTreeSet::new(),
-    };
-    let diags = run(&config).expect("fixture tree is readable");
+    let diags = run_fixtures(&[]);
     let rendered: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
     assert!(
         rendered
@@ -58,14 +95,99 @@ fn diagnostics_render_as_file_line_rule() {
 }
 
 #[test]
+fn transitive_diagnostics_print_full_call_chains() {
+    let diags = run_fixtures(&[]);
+    let panic_chain = diags
+        .iter()
+        .find(|d| d.rule == "no-panic" && d.file == "crates/chains/src/lib.rs")
+        .expect("seeded transitive no-panic violation");
+    assert!(
+        panic_chain.message.contains(
+            "call chain: entry (crates/chains/src/lib.rs:8) → \
+             step_one (crates/chains/src/lib.rs:12) → step_two"
+        ),
+        "root-to-site chain missing or drifted: {}",
+        panic_chain.message
+    );
+    let alloc_chain = diags
+        .iter()
+        .find(|d| d.rule == "hot-path-alloc" && d.file == "crates/chains/src/lib.rs")
+        .expect("seeded transitive hot-path-alloc violation");
+    assert!(
+        alloc_chain
+            .message
+            .contains("call chain: scan_in (crates/chains/src/lib.rs:22) → gather"),
+        "hot-path chain missing or drifted: {}",
+        alloc_chain.message
+    );
+}
+
+#[test]
+fn lock_order_cycle_reports_both_witness_chains() {
+    let diags = run_fixtures(&[]);
+    let cycle = diags
+        .iter()
+        .find(|d| d.rule == "lock-order")
+        .expect("seeded ab/ba cycle");
+    assert!(
+        cycle.message.contains(
+            "lock-order cycle (potential deadlock): `locks::a` → `locks::b` → `locks::a`"
+        ),
+        "cycle summary drifted: {}",
+        cycle.message
+    );
+    assert!(
+        cycle.message.contains(
+            "witness `locks::a` → `locks::b`: `Pair::ab` acquires `locks::a` \
+             (crates/locks/src/lib.rs:19) then `locks::b` (crates/locks/src/lib.rs:20)"
+        ),
+        "first witness missing: {}",
+        cycle.message
+    );
+    assert!(
+        cycle.message.contains(
+            "witness `locks::b` → `locks::a`: `Pair::ba` acquires `locks::b` \
+             (crates/locks/src/lib.rs:25) then `locks::a` (crates/locks/src/lib.rs:26)"
+        ),
+        "second witness missing: {}",
+        cycle.message
+    );
+}
+
+#[test]
+fn transitive_blocking_under_lock_chains_to_the_io_leaf() {
+    let diags = run_fixtures(&[]);
+    let trans = diags
+        .iter()
+        .find(|d| d.rule == "blocking-under-lock" && d.line == 66)
+        .expect("seeded transitive blocking violation");
+    assert!(
+        trans
+            .message
+            .contains("`write_blob` — `fs::write` (crates/locks/src/lib.rs:71)"),
+        "call path to the I/O leaf missing: {}",
+        trans.message
+    );
+}
+
+#[test]
+fn chain_break_allow_prunes_reachability() {
+    // `checked_entry` carries a lint:allow on its call line, so the
+    // unwrap inside its (otherwise unreachable) helper must not be
+    // flagged — but the identical unreachable-helper shape without the
+    // directive (`entry` → … → `step_two`) is.
+    let diags = run_fixtures(&[]);
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.file == "crates/chains/src/lib.rs" && d.line == 38),
+        "chain-break lint:allow failed to prune the pruned helper"
+    );
+}
+
+#[test]
 fn allow_flag_disables_a_rule_wholesale() {
-    let mut allow = BTreeSet::new();
-    allow.insert("no-panic".to_string());
-    let config = Config {
-        crates_dir: fixtures(),
-        allow,
-    };
-    let diags = run(&config).expect("fixture tree is readable");
+    let diags = run_fixtures(&["no-panic"]);
     assert!(
         diags.iter().all(|d| d.rule != "no-panic"),
         "--allow no-panic must suppress every no-panic diagnostic"
@@ -73,5 +195,5 @@ fn allow_flag_disables_a_rule_wholesale() {
     // Other rules still fire — including the one sharing a line with a
     // suppressed no-panic hit.
     assert!(diags.iter().any(|d| d.rule == "engine-lock-unwrap"));
-    assert_eq!(diags.len(), 6);
+    assert_eq!(diags.len(), 13);
 }

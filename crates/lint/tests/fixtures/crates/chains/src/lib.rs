@@ -1,0 +1,39 @@
+//! Fixture crate `chains`: transitive propagation. The panic and the
+//! allocation live two calls below their roots, so the diagnostics must
+//! carry full root-to-site call chains. Never compiled — only lexed.
+#![forbid(unsafe_code)]
+
+/// Root of the seeded no-panic chain: public, panic-free itself.
+pub fn entry(x: Option<u32>) -> u32 {
+    step_one(x)
+}
+
+fn step_one(x: Option<u32>) -> u32 {
+    step_two(x)
+}
+
+fn step_two(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Root of the seeded hot-path-alloc chain: a `*_in` hot path whose
+/// helper allocates.
+pub fn scan_in(out: &mut Vec<u32>) {
+    gather(out);
+}
+
+fn gather(out: &mut Vec<u32>) {
+    let extra: Vec<u32> = Vec::new();
+    out.extend(extra);
+}
+
+/// Exempt: a chain-break `lint:allow` on the call line prunes the edge,
+/// so the helper's panic is not reachable from this root.
+pub fn checked_entry(x: Option<u32>) -> u32 {
+    // lint:allow(no-panic): fixture exercises the chain-break escape hatch.
+    step_broken(x)
+}
+
+fn step_broken(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

@@ -1,0 +1,79 @@
+//! Fixture crate `locks`: one seeded violation per concurrency rule —
+//! a lock-order cycle (`a` → `b` in one method, `b` → `a` in another),
+//! a `Condvar::wait` outside a predicate loop, and blocking I/O under a
+//! held lock, both direct and through a call. Never compiled — only
+//! lexed.
+#![forbid(unsafe_code)]
+
+use std::sync::{Condvar, Mutex};
+
+/// Two mutexes acquired in both orders: the seeded deadlock cycle.
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    /// Cycle witness one: `a` then `b`.
+    pub fn ab(&self) {
+        let _ga = self.a.lock().ok();
+        let _gb = self.b.lock().ok();
+    }
+
+    /// Cycle witness two: `b` then `a`.
+    pub fn ba(&self) {
+        let _gb = self.b.lock().ok();
+        let _ga = self.a.lock().ok();
+    }
+}
+
+/// A mutex/condvar pair for the wait-discipline rule.
+pub struct Cv {
+    m: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Cv {
+    /// Violation (condvar-discipline): a wait outside a predicate loop.
+    pub fn bad_wait(&self) {
+        let g = self.m.lock().ok();
+        let _ = self.cv.wait(g);
+    }
+
+    /// Exempt: the wait sits inside a predicate loop.
+    pub fn good_wait(&self) {
+        let mut g = self.m.lock().ok();
+        while !done(&g) {
+            g = self.cv.wait(g).ok();
+        }
+    }
+}
+
+fn done(_g: &Option<bool>) -> bool {
+    true
+}
+
+/// Violation (blocking-under-lock, direct): disk I/O under the mutex.
+pub fn flush_under_lock(p: &Pair, path: &str) {
+    let _g = p.a.lock().ok();
+    std::fs::write(path, b"x").ok();
+}
+
+/// Violation (blocking-under-lock, transitive): the call under the lock
+/// reaches disk through `write_blob`.
+pub fn save_under_lock(p: &Pair, path: &str) {
+    let _g = p.b.lock().ok();
+    write_blob(path);
+}
+
+/// The blocking leaf the transitive diagnostic chains to.
+pub fn write_blob(path: &str) {
+    std::fs::write(path, b"blob").ok();
+}
+
+/// Exempt: the escape hatch on the call line.
+pub fn allowed_save_under_lock(p: &Pair, path: &str) {
+    let _g = p.b.lock().ok();
+    // lint:allow(blocking-under-lock): fixture exercises the escape hatch.
+    write_blob(path);
+}

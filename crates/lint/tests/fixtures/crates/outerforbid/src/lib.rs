@@ -1,0 +1,6 @@
+//! Fixture crate whose only `forbid(unsafe_code)` is an **outer**
+//! attribute on one item — not crate-wide, so the `forbid-unsafe` rule
+//! must still report the missing inner attribute at line 1.
+
+#[forbid(unsafe_code)]
+mod inner {}

@@ -1,0 +1,158 @@
+//! Machine-readable output is a CI interface: these tests pin the JSON
+//! and SARIF bytes for the fixture tree against checked-in golden files,
+//! prove the writers are deterministic across runs, round-trip the
+//! baseline format end to end, and self-host the linter — the real
+//! workspace's `crates/lint` must come out clean without a single
+//! `lint:allow` directive in its sources.
+//!
+//! Regenerate the goldens after an intentional format or fixture change:
+//!
+//! ```text
+//! cargo run -p mcc-lint -- --root crates/lint/tests/fixtures \
+//!     --format json  --output crates/lint/tests/golden/fixtures.json
+//! cargo run -p mcc-lint -- --root crates/lint/tests/fixtures \
+//!     --format sarif --output crates/lint/tests/golden/fixtures.sarif
+//! ```
+
+use mcc_lint::{report, run, Config, Diagnostic};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn manifest_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_tree(crates_dir: PathBuf) -> Vec<Diagnostic> {
+    let config = Config {
+        crates_dir,
+        allow: BTreeSet::new(),
+    };
+    run(&config).expect("crate tree is readable")
+}
+
+fn run_fixtures() -> Vec<Diagnostic> {
+    run_tree(manifest_dir().join("tests/fixtures/crates"))
+}
+
+/// The real workspace's `crates/` directory — `crates/lint` is two
+/// levels below it, so the parent of this crate's manifest dir is it.
+fn workspace_crates_dir() -> PathBuf {
+    manifest_dir()
+        .parent()
+        .expect("crates/lint sits inside crates/")
+        .to_path_buf()
+}
+
+#[test]
+fn machine_reports_are_byte_deterministic_across_runs() {
+    let first = run_fixtures();
+    let second = run_fixtures();
+    assert_eq!(
+        report::to_json(&first),
+        report::to_json(&second),
+        "two runs over the same tree must serialize identically"
+    );
+    assert_eq!(report::to_sarif(&first), report::to_sarif(&second));
+}
+
+#[test]
+fn json_output_matches_the_checked_in_golden() {
+    let golden = std::fs::read_to_string(manifest_dir().join("tests/golden/fixtures.json"))
+        .expect("golden JSON is checked in");
+    assert_eq!(
+        report::to_json(&run_fixtures()),
+        golden,
+        "JSON report drifted from tests/golden/fixtures.json — if the \
+         change is intentional, regenerate the golden (command in the \
+         module doc)"
+    );
+}
+
+#[test]
+fn sarif_output_matches_the_checked_in_golden() {
+    let golden = std::fs::read_to_string(manifest_dir().join("tests/golden/fixtures.sarif"))
+        .expect("golden SARIF is checked in");
+    assert_eq!(
+        report::to_sarif(&run_fixtures()),
+        golden,
+        "SARIF report drifted from tests/golden/fixtures.sarif — if the \
+         change is intentional, regenerate the golden (command in the \
+         module doc)"
+    );
+}
+
+#[test]
+fn baseline_round_trip_suppresses_every_fixture_diagnostic() {
+    let diags = run_fixtures();
+    let total = diags.len();
+    assert!(total > 0, "fixture tree must seed violations");
+    let rendered = report::render_baseline(&diags);
+    let accepted = report::parse_baseline(&rendered).expect("rendered baseline parses back");
+    let (new, baselined) = report::apply_baseline(diags, &accepted);
+    assert!(
+        new.is_empty(),
+        "a freshly written baseline must accept its own diagnostics; \
+         leaked: {new:?}"
+    );
+    assert_eq!(baselined.len(), total);
+}
+
+#[test]
+fn the_checked_in_workspace_baseline_is_empty_and_parses() {
+    let path = workspace_crates_dir()
+        .parent()
+        .expect("workspace root")
+        .join("lint-baseline.txt");
+    let text = std::fs::read_to_string(path).expect("lint-baseline.txt is checked in");
+    let accepted = report::parse_baseline(&text).expect("workspace baseline parses");
+    assert!(
+        accepted.is_empty(),
+        "the workspace baseline's goal state is an empty list — new \
+         violations should be fixed or lint:allow'd with a reason, not \
+         baselined: {accepted:?}"
+    );
+}
+
+/// Self-hosting: the linter passes over its own crate with **zero**
+/// allows — no diagnostic anchored under `crates/lint/`, and no
+/// `lint:allow` directive anywhere in its sources (doc comments may
+/// *mention* the directive; none may *be* one).
+#[test]
+fn lint_crate_self_hosts_with_zero_allows() {
+    let diags = run_tree(workspace_crates_dir());
+    let own: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.file.starts_with("crates/lint/"))
+        .collect();
+    assert!(own.is_empty(), "mcc-lint flags its own sources: {own:?}");
+
+    let src = manifest_dir().join("src");
+    for entry in std::fs::read_dir(&src).expect("src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("source is readable");
+        for (i, line) in text.lines().enumerate() {
+            assert!(
+                !line.trim_start().starts_with("// lint:allow("),
+                "{}:{}: crates/lint must self-host without escape hatches",
+                path.display(),
+                i + 1
+            );
+        }
+    }
+}
+
+/// The deadlock detector's most important property on the real tree:
+/// the workspace lock-acquisition graph is acyclic. A cycle here is a
+/// potential deadlock and must be re-ordered, never baselined.
+#[test]
+fn real_workspace_has_no_lock_order_cycles() {
+    let diags = run_tree(workspace_crates_dir());
+    let cycles: Vec<&Diagnostic> = diags.iter().filter(|d| d.rule == "lock-order").collect();
+    assert!(
+        cycles.is_empty(),
+        "lock-order cycle in the real workspace: {cycles:?}"
+    );
+}

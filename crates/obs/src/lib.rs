@@ -52,7 +52,9 @@
 // copying an atomic) cannot arise.
 #![allow(clippy::declare_interior_mutable_const)]
 
+/// The workspace's clock seam: the monotonic default and the test clock.
 pub mod clock;
+/// Sharded counters, gauges, and log-bucketed histograms.
 pub mod metrics;
 mod names;
 // With telemetry off, the real registry still compiles (local `Registry`
@@ -61,6 +63,7 @@ mod names;
 #[cfg_attr(not(feature = "telemetry"), allow(dead_code))]
 mod registry;
 mod span;
+/// Per-solve structured traces collected from closing spans.
 pub mod trace;
 
 pub use clock::{install_clock, Clock, TestClock};

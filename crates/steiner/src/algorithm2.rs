@@ -148,6 +148,8 @@ pub fn algorithm2_budgeted_in(
     if let Some(t) = &tree {
         debug_assert!(
             n > crate::certify::CHECK_STEINER_MAX_NODES
+                // lint:allow(hot-path-alloc): debug-only certificate —
+                // this call is compiled out of release hot paths.
                 || crate::certify::check_steiner_solution(g, &trimmed, terminals, t),
             "Algorithm 2 produced a tree failing its own certificate"
         );
